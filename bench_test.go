@@ -1,0 +1,107 @@
+package gradsync_test
+
+// One benchmark per experiment in the reproduction index (DESIGN.md): each
+// regenerates its paper table at bench scale and reports the rows through
+// b.Log, so `go test -bench=.` reproduces every "table and figure" of the
+// reproduction. Failures of the shape assertions fail the benchmark.
+//
+// Micro-benchmarks for the substrate (event engine, trigger evaluation,
+// estimate layer) follow at the end.
+
+import (
+	"testing"
+
+	gradsync "repro"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func benchExperiment(b *testing.B, run experiments.Runner) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res := run(experiments.Spec{Quick: true, Seed: 1})
+		if i == 0 {
+			b.Log("\n" + res.String())
+		}
+		if !res.Pass {
+			b.Fatalf("%s failed shape checks: %v", res.ID, res.Failures)
+		}
+	}
+}
+
+func BenchmarkE01GlobalSkew(b *testing.B)   { benchExperiment(b, experiments.E01GlobalSkew) }
+func BenchmarkE02GradientSkew(b *testing.B) { benchExperiment(b, experiments.E02GradientSkew) }
+func BenchmarkE03LocalSkewVsD(b *testing.B) { benchExperiment(b, experiments.E03LocalSkewVsD) }
+func BenchmarkE04Stabilization(b *testing.B) {
+	benchExperiment(b, experiments.E04Stabilization)
+}
+func BenchmarkE05LowerBound(b *testing.B) { benchExperiment(b, experiments.E05LowerBound) }
+func BenchmarkE06MuSweep(b *testing.B)    { benchExperiment(b, experiments.E06MuSweep) }
+func BenchmarkE07Churn(b *testing.B)      { benchExperiment(b, experiments.E07Churn) }
+func BenchmarkE08SelfStab(b *testing.B)   { benchExperiment(b, experiments.E08SelfStab) }
+func BenchmarkE09Weighted(b *testing.B)   { benchExperiment(b, experiments.E09Weighted) }
+func BenchmarkE10DynamicEstimates(b *testing.B) {
+	benchExperiment(b, experiments.E10DynamicEstimates)
+}
+func BenchmarkE11EstimateLayer(b *testing.B) { benchExperiment(b, experiments.E11EstimateLayer) }
+func BenchmarkE12Ablations(b *testing.B)     { benchExperiment(b, experiments.E12Ablations) }
+
+// BenchmarkSimulationStep measures the cost of one simulated time unit on a
+// 32-node line running AOPT (50 integration ticks plus beacon traffic).
+func BenchmarkSimulationStep(b *testing.B) {
+	net := gradsync.MustNew(gradsync.Config{
+		Topology: gradsync.LineTopology(32),
+		Drift:    gradsync.TwoGroupDrift(16),
+		Seed:     1,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.RunFor(1)
+	}
+}
+
+// BenchmarkSimulationStepMessaging is the same with the message-protocol
+// estimate layer instead of the oracle.
+func BenchmarkSimulationStepMessaging(b *testing.B) {
+	net := gradsync.MustNew(gradsync.Config{
+		Topology:  gradsync.LineTopology(32),
+		Drift:     gradsync.TwoGroupDrift(16),
+		Estimates: gradsync.MessagingEstimates(true),
+		Seed:      1,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.RunFor(1)
+	}
+}
+
+// BenchmarkEngineEvents measures raw event queue throughput.
+func BenchmarkEngineEvents(b *testing.B) {
+	e := sim.NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(1, func(sim.Time) {})
+		if i%1024 == 1023 {
+			e.RunUntil(e.Now() + 2)
+		}
+	}
+	e.RunUntil(e.Now() + 2)
+}
+
+// BenchmarkLargeNetwork runs a 128-node torus for one time unit, the
+// largest configuration the experiments use.
+func BenchmarkLargeNetwork(b *testing.B) {
+	net := gradsync.MustNew(gradsync.Config{
+		Topology: gradsync.TorusTopology(12, 11),
+		Drift:    gradsync.SinusoidDrift(40),
+		Seed:     1,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.RunFor(1)
+	}
+}
+
+func BenchmarkE13InsertionStrategies(b *testing.B) {
+	benchExperiment(b, experiments.E13InsertionStrategies)
+}

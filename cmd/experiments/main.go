@@ -1,0 +1,84 @@
+// Command experiments runs the full reproduction suite (E1–E12, one per
+// theorem-level claim of the paper; see DESIGN.md) and prints the result
+// tables. Use -quick for bench-sized runs and -only to select experiments.
+//
+//	experiments                 # full suite
+//	experiments -quick          # fast suite
+//	experiments -only E03,E05   # a subset
+//	experiments -out results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "bench-sized runs")
+	seed := fs.Int64("seed", 1, "random seed")
+	only := fs.String("only", "", "comma-separated experiment ids (e.g. E03,E05)")
+	out := fs.String("out", "", "also write the report to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var filter map[string]bool
+	if *only != "" {
+		filter = make(map[string]bool)
+		for _, id := range strings.Split(*only, ",") {
+			filter[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	w := stdout
+	var f *os.File
+	if *out != "" {
+		var err error
+		f, err = os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "experiments: close:", cerr)
+			}
+		}()
+		w = io.MultiWriter(stdout, f)
+	}
+
+	spec := experiments.Spec{Quick: *quick, Seed: *seed}
+	failed := 0
+	ran := 0
+	start := time.Now()
+	for _, entry := range experiments.All() {
+		if filter != nil && !filter[entry.ID] {
+			continue
+		}
+		res := entry.Run(spec)
+		ran++
+		fmt.Fprintln(w, res.String())
+		if !res.Pass {
+			failed++
+		}
+	}
+	fmt.Fprintf(w, "=== %d experiments, %d failed shape checks (%.1fs) ===\n",
+		ran, failed, time.Since(start).Seconds())
+	if failed > 0 {
+		return fmt.Errorf("%d experiments failed their shape checks", failed)
+	}
+	return nil
+}

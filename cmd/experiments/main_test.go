@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSubset runs one quick experiment through the CLI path end to end.
+func TestRunSubset(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-only", "E06"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "E06") || !strings.Contains(s, "PASS") {
+		t.Errorf("output missing E06 result:\n%s", s)
+	}
+	if !strings.Contains(s, "1 experiments, 0 failed") {
+		t.Errorf("summary line wrong:\n%s", s)
+	}
+}
+
+func TestRunUnknownFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunFilterUnknownID(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-only", "E99"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "0 experiments") {
+		t.Errorf("expected zero experiments for unknown id:\n%s", out.String())
+	}
+}

@@ -1,0 +1,297 @@
+// Command gradsim runs one clock synchronization scenario and reports skew
+// metrics over time. It exercises the public gradsync API.
+//
+// Examples:
+//
+//	gradsim -topo line -n 16 -drift twogroup -horizon 600
+//	gradsim -algo maxsync -topo ring -n 32 -drift linear
+//	gradsim -algo blocksync -blocksize 2 -topo line -n 24
+//	gradsim -topo line -n 16 -addedge 0,15@100 -horizon 4000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	gradsync "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gradsim:", err)
+		os.Exit(1)
+	}
+}
+
+type edgeEvent struct {
+	u, v int
+	at   float64
+	add  bool
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gradsim", flag.ContinueOnError)
+	var (
+		topoKind  = fs.String("topo", "line", "topology: line|ring|star|grid|torus|random")
+		n         = fs.Int("n", 16, "number of nodes (grid/torus use the nearest w×h)")
+		algoKind  = fs.String("algo", "aopt", "algorithm: aopt|aopt-dynskew|maxsync|blocksync")
+		blockSize = fs.Float64("blocksize", 2, "block size S for blocksync")
+		driftKind = fs.String("drift", "twogroup", "drift: none|twogroup|linear|sin|flip|walk")
+		delayKind = fs.String("delay", "random", "delays: random|max|min|shift")
+		estKind   = fs.String("est", "oracle:random", "estimates: oracle:<policy>|messaging")
+		mu        = fs.Float64("mu", 0.1, "fast-mode boost µ")
+		rho       = fs.Float64("rho", 0, "drift bound ρ (0 = µ/60)")
+		gtilde    = fs.Float64("gtilde", 0, "static global skew estimate (0 = derive)")
+		horizon   = fs.Float64("horizon", 600, "simulated time to run")
+		sample    = fs.Float64("sample", 0, "sampling interval (0 = horizon/20)")
+		seed      = fs.Int64("seed", 1, "random seed")
+		tick      = fs.Float64("tick", 0.02, "integration step")
+		edgeOps   = fs.String("edges", "", "dynamic edge ops, e.g. add:0,15@100;cut:3,4@200")
+		csv       = fs.Bool("csv", false, "emit CSV instead of a table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	topology, err := buildTopology(*topoKind, *n)
+	if err != nil {
+		return err
+	}
+	algo, err := buildAlgo(*algoKind, *blockSize)
+	if err != nil {
+		return err
+	}
+	driftSpec, err := buildDrift(*driftKind, topology.N())
+	if err != nil {
+		return err
+	}
+	delaySpec, err := buildDelay(*delayKind)
+	if err != nil {
+		return err
+	}
+	estSpec, err := buildEstimates(*estKind)
+	if err != nil {
+		return err
+	}
+	events, err := parseEdgeOps(*edgeOps)
+	if err != nil {
+		return err
+	}
+
+	net, err := gradsync.New(gradsync.Config{
+		Topology:  topology,
+		Algorithm: algo,
+		Drift:     driftSpec,
+		Delay:     delaySpec,
+		Estimates: estSpec,
+		Mu:        *mu,
+		Rho:       *rho,
+		GTilde:    *gtilde,
+		Tick:      *tick,
+		Seed:      *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	for _, ev := range events {
+		ev := ev
+		net.At(ev.at, func(float64) {
+			var err error
+			if ev.add {
+				err = net.AddEdge(ev.u, ev.v)
+			} else {
+				err = net.CutEdge(ev.u, ev.v)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gradsim: edge op at t=%v: %v\n", ev.at, err)
+			}
+		})
+	}
+
+	interval := *sample
+	if interval <= 0 {
+		interval = *horizon / 20
+	}
+	fmt.Printf("algorithm=%s nodes=%d κ=%.4g σ=%.4g G̃=%.4g bound(1 hop)=%.4g\n",
+		net.AlgorithmName(), net.N(), net.Kappa(), net.Sigma(), net.GTilde(), net.GradientBoundHops(1))
+
+	header := []string{"t", "global", "adjacent", "mode"}
+	rows := [][]string{}
+	net.Every(interval, func(t float64) {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.1f", t),
+			fmt.Sprintf("%.4f", net.GlobalSkew()),
+			fmt.Sprintf("%.4f", net.AdjacentSkew()),
+			modeSummary(net),
+		})
+	})
+	net.RunFor(*horizon)
+
+	if *csv {
+		fmt.Println(strings.Join(header, ","))
+		for _, r := range rows {
+			fmt.Println(strings.Join(r, ","))
+		}
+	} else {
+		fmt.Printf("%8s %10s %10s %s\n", header[0], header[1], header[2], header[3])
+		for _, r := range rows {
+			fmt.Printf("%8s %10s %10s %s\n", r[0], r[1], r[2], r[3])
+		}
+	}
+	fmt.Printf("final: global=%.4f adjacent=%.4f (gradient bound 1 hop: %.4f)\n",
+		net.GlobalSkew(), net.AdjacentSkew(), net.GradientBoundHops(1))
+	if c := net.Core(); c != nil {
+		fmt.Printf("aopt: insertions=%d handshakeAborts=%d triggerConflicts=%d\n",
+			c.Insertions, c.HandshakeAborts, c.TriggerConflicts)
+	}
+	return nil
+}
+
+func modeSummary(net *gradsync.Network) string {
+	c := net.Core()
+	if c == nil {
+		return "-"
+	}
+	fast := 0
+	for u := 0; u < net.N(); u++ {
+		if c.Mult(u) > 1 {
+			fast++
+		}
+	}
+	return fmt.Sprintf("fast=%d/%d", fast, net.N())
+}
+
+func buildTopology(kind string, n int) (gradsync.Topology, error) {
+	switch kind {
+	case "line":
+		return gradsync.LineTopology(n), nil
+	case "ring":
+		return gradsync.RingTopology(n), nil
+	case "star":
+		return gradsync.StarTopology(n), nil
+	case "grid":
+		w := intSqrt(n)
+		return gradsync.GridTopology(w, (n+w-1)/w), nil
+	case "torus":
+		w := intSqrt(n)
+		return gradsync.TorusTopology(w, (n+w-1)/w), nil
+	case "random":
+		return gradsync.RandomTopology(n, 0.5), nil
+	default:
+		return gradsync.Topology{}, fmt.Errorf("unknown topology %q", kind)
+	}
+}
+
+func buildAlgo(kind string, s float64) (gradsync.Algo, error) {
+	switch kind {
+	case "aopt":
+		return gradsync.AOPT(), nil
+	case "aopt-dynskew":
+		return gradsync.AOPTDynamicSkew(1.5), nil
+	case "maxsync":
+		return gradsync.MaxSyncAlgo(), nil
+	case "blocksync":
+		return gradsync.BlockSyncAlgo(s), nil
+	default:
+		return gradsync.Algo{}, fmt.Errorf("unknown algorithm %q", kind)
+	}
+}
+
+func buildDrift(kind string, n int) (gradsync.Drift, error) {
+	switch kind {
+	case "none":
+		return gradsync.NoDrift(), nil
+	case "twogroup":
+		return gradsync.TwoGroupDrift(n / 2), nil
+	case "linear":
+		return gradsync.LinearDrift(), nil
+	case "sin":
+		return gradsync.SinusoidDrift(40), nil
+	case "flip":
+		return gradsync.FlipDrift(20), nil
+	case "walk":
+		return gradsync.RandomWalkDrift(5), nil
+	default:
+		return gradsync.Drift{}, fmt.Errorf("unknown drift %q", kind)
+	}
+}
+
+func buildDelay(kind string) (gradsync.Delay, error) {
+	switch kind {
+	case "random":
+		return gradsync.RandomDelays(), nil
+	case "max":
+		return gradsync.MaxDelays(), nil
+	case "min":
+		return gradsync.MinDelays(), nil
+	case "shift":
+		return gradsync.ShiftDelays(), nil
+	default:
+		return gradsync.Delay{}, fmt.Errorf("unknown delay policy %q", kind)
+	}
+}
+
+func buildEstimates(spec string) (gradsync.Estimates, error) {
+	if spec == "messaging" {
+		return gradsync.MessagingEstimates(true), nil
+	}
+	if policy, ok := strings.CutPrefix(spec, "oracle:"); ok {
+		return gradsync.OracleEstimates(policy), nil
+	}
+	return gradsync.Estimates{}, fmt.Errorf("unknown estimates spec %q", spec)
+}
+
+// parseEdgeOps parses "add:0,15@100;cut:3,4@200".
+func parseEdgeOps(spec string) ([]edgeEvent, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []edgeEvent
+	for _, part := range strings.Split(spec, ";") {
+		op, rest, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad edge op %q", part)
+		}
+		pair, atStr, ok := strings.Cut(rest, "@")
+		if !ok {
+			return nil, fmt.Errorf("bad edge op %q (missing @time)", part)
+		}
+		uStr, vStr, ok := strings.Cut(pair, ",")
+		if !ok {
+			return nil, fmt.Errorf("bad edge op %q (need u,v)", part)
+		}
+		u, err := strconv.Atoi(uStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad node id in %q: %w", part, err)
+		}
+		v, err := strconv.Atoi(vStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad node id in %q: %w", part, err)
+		}
+		at, err := strconv.ParseFloat(atStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad time in %q: %w", part, err)
+		}
+		switch op {
+		case "add":
+			out = append(out, edgeEvent{u: u, v: v, at: at, add: true})
+		case "cut":
+			out = append(out, edgeEvent{u: u, v: v, at: at})
+		default:
+			return nil, fmt.Errorf("unknown edge op %q", op)
+		}
+	}
+	return out, nil
+}
+
+func intSqrt(n int) int {
+	w := 1
+	for (w+1)*(w+1) <= n {
+		w++
+	}
+	return w
+}

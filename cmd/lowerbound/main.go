@@ -1,0 +1,92 @@
+// Command lowerbound demonstrates the Section 8 lower bound interactively:
+// a network carrying Ω(D) legitimate skew gains a new edge, and the skew on
+// that edge persists for Ω(D) time under any algorithm whose logical clocks
+// respect the rate envelope. It prints the skew trajectory of the new edge
+// together with the universal envelope bound.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	gradsync "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lowerbound:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lowerbound", flag.ContinueOnError)
+	n := fs.Int("n", 16, "nodes (two segments of n/2)")
+	offsetPerNode := fs.Float64("offset", 1.0, "initial clock offset per node between segments")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	k := *n / 2
+	offset := *offsetPerNode * float64(*n)
+	var edges [][2]int
+	for i := 0; i+1 < *n; i++ {
+		if i+1 == k {
+			continue
+		}
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	init := make([]float64, *n)
+	for i := k; i < *n; i++ {
+		init[i] = offset
+	}
+
+	net, err := gradsync.New(gradsync.Config{
+		Topology:      gradsync.CustomTopology(*n, edges),
+		InitialClocks: init,
+		Seed:          *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	const (
+		rho     = 0.1 / 60
+		mu      = 0.1
+		mergeAt = 5.0
+	)
+	rateGap := (1+rho)*(1+mu) - (1 - rho)
+	threshold := net.GradientBoundHops(1)
+	tMin := (offset - threshold) / rateGap
+
+	fmt.Printf("two segments of %d nodes, offset %.1f; new edge {%d,%d} appears at t=%.0f\n",
+		k, offset, k-1, k, mergeAt)
+	fmt.Printf("gradient threshold for the edge: %.3f\n", threshold)
+	fmt.Printf("universal envelope lower bound on stabilization: %.1f time units\n\n", tMin)
+
+	net.At(mergeAt, func(float64) {
+		if err := net.AddEdge(k-1, k); err != nil {
+			fmt.Fprintln(os.Stderr, "lowerbound: AddEdge:", err)
+		}
+	})
+	fmt.Printf("%8s %10s %8s\n", "t", "edgeSkew", "")
+	stabilized := -1.0
+	net.Every(tMin/12, func(t float64) {
+		s := net.SkewBetween(k-1, k)
+		bar := strings.Repeat("#", int(s/offset*50))
+		fmt.Printf("%8.1f %10.3f %s\n", t, s, bar)
+		if stabilized < 0 && t > mergeAt && s <= threshold {
+			stabilized = t - mergeAt
+		}
+	})
+	net.RunFor(mergeAt + tMin*1.4 + 40)
+
+	fmt.Printf("\nskew dropped below the threshold after ≈ %.1f time units (lower bound %.1f, ratio %.2f)\n",
+		stabilized, tMin, stabilized/tMin)
+	fmt.Println("no algorithm with logical clock rates in [1−ρ, (1+ρ)(1+µ)] can beat the lower bound (Theorem 8.1);")
+	fmt.Println("AOPT matches it up to a small constant — its stabilization time is asymptotically optimal.")
+	return nil
+}

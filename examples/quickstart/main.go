@@ -1,0 +1,32 @@
+// Quickstart: synchronize a 16-node line under adversarial drift and watch
+// the global and local skew stay inside the paper's bounds.
+package main
+
+import (
+	"fmt"
+
+	gradsync "repro"
+)
+
+func main() {
+	net, err := gradsync.New(gradsync.Config{
+		Topology: gradsync.LineTopology(16),
+		Drift:    gradsync.TwoGroupDrift(8), // half the clocks fast, half slow
+		Seed:     42,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("16-node line, κ=%.3f, σ=%.1f, G̃=%.2f\n", net.Kappa(), net.Sigma(), net.GTilde())
+	fmt.Printf("gradient bound for adjacent nodes: %.3f\n\n", net.GradientBoundHops(1))
+	fmt.Printf("%8s %12s %12s\n", "t", "globalSkew", "localSkew")
+
+	for i := 0; i < 10; i++ {
+		net.RunFor(60)
+		fmt.Printf("%8.0f %12.4f %12.4f\n", net.Now(), net.GlobalSkew(), net.AdjacentSkew())
+	}
+
+	fmt.Printf("\nglobal stays ≈ D(t)+ι ≪ G̃=%.2f; adjacent stays ≪ the gradient bound %.3f\n",
+		net.GTilde(), net.GradientBoundHops(1))
+}

@@ -1,0 +1,129 @@
+// TDMA: the paper's motivating application (Section 1). A wireless sensor
+// network shares the medium with time-division multiple access: each node
+// transmits in the slot (L_u / slotLen) mod nSlots. Colliding transmissions
+// happen only between nodes within interference range (here: graph
+// neighbors), so what matters is not the global skew but the skew between
+// neighbors — exactly the gradient guarantee.
+//
+// This example assigns neighbors distinct slots (distance-1 coloring),
+// sizes the guard interval from the algorithm's adjacent-skew bound, and
+// counts collisions under adversarial drift. It then repeats the run with
+// the max-propagation baseline after a network merge, where the baseline's
+// Ω(D) local skew breaks the schedule while AOPT's stays safe.
+package main
+
+import (
+	"fmt"
+
+	gradsync "repro"
+)
+
+const (
+	nNodes  = 12
+	nSlots  = 4 // a line is 2-colorable; 4 slots leave guard slots free
+	slotLen = 6.0
+)
+
+// slotOf maps a logical clock to a TDMA slot.
+func slotOf(l float64) int {
+	return int(l/slotLen) % nSlots
+}
+
+// wantSlot is the slot assigned to node u (alternating coloring on a line,
+// using only even slots so odd slots act as guards).
+func wantSlot(u int) int { return 2 * (u % 2) }
+
+// transmitting reports whether node u is inside its assigned slot window at
+// logical time l, shrunk by the guard interval on both sides.
+func transmitting(u int, l, guard float64) bool {
+	if slotOf(l) != wantSlot(u) {
+		return false
+	}
+	into := l - float64(int(l/slotLen))*slotLen
+	return into >= guard && into <= slotLen-guard
+}
+
+// countCollisions samples the network and counts neighbor pairs that
+// transmit simultaneously in real time; skipPair excludes an edge (a link
+// whose stabilization period has not elapsed is not scheduled — link age is
+// known to any TDMA MAC layer).
+func countCollisions(net *gradsync.Network, horizon, guard float64, skipPair int) (collisions int, worstOldSkew float64) {
+	net.Every(0.1, func(float64) {
+		for u := 0; u+1 < net.N(); u++ {
+			if u == skipPair {
+				continue
+			}
+			if s := net.SkewBetween(u, u+1); s > worstOldSkew {
+				worstOldSkew = s
+			}
+			if transmitting(u, net.Logical(u), guard) &&
+				transmitting(u+1, net.Logical(u+1), guard) {
+				collisions++
+			}
+		}
+	})
+	net.RunFor(horizon)
+	return collisions, worstOldSkew
+}
+
+func main() {
+	// Phase 1: steady state under drift — AOPT's local skew bound sizes the
+	// guard interval, and the schedule stays collision-free.
+	net, err := gradsync.New(gradsync.Config{
+		Topology: gradsync.LineTopology(nNodes),
+		Drift:    gradsync.SinusoidDrift(40),
+		Seed:     7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	guard := net.GradientBoundHops(1) / 2
+	fmt.Printf("TDMA over a %d-node line: slot %.0fs, guard sized from the gradient bound: %.2f\n",
+		nNodes, slotLen, guard)
+	c, _ := countCollisions(net, 600, guard, -1)
+	fmt.Printf("AOPT, steady state: %d collisions in 600 time units\n", c)
+
+	// Phase 2: two deployments with offset clocks merge. The new link is
+	// excluded from the schedule until its stabilization period passes, but
+	// the *old* links stay scheduled — so what matters is whether the merge
+	// can push old neighbors apart beyond the guard. AOPT's gradient bound
+	// says no; max-propagation's jump wave says yes (by the full offset).
+	const offset = 13.0
+	merged := func(algo gradsync.Algo, name string) {
+		var edges [][2]int
+		k := nNodes / 2
+		for i := 0; i+1 < nNodes; i++ {
+			if i+1 != k {
+				edges = append(edges, [2]int{i, i + 1})
+			}
+		}
+		init := make([]float64, nNodes)
+		for i := k; i < nNodes; i++ {
+			init[i] = offset
+		}
+		net, err := gradsync.New(gradsync.Config{
+			Topology:      gradsync.CustomTopology(nNodes, edges),
+			Algorithm:     algo,
+			InitialClocks: init,
+			Seed:          7,
+		})
+		if err != nil {
+			panic(err)
+		}
+		net.At(5, func(float64) {
+			if err := net.AddEdge(k-1, k); err != nil {
+				panic(err)
+			}
+		})
+		c, worst := countCollisions(net, offset/0.04+60, guard, k-1)
+		verdict := "schedule guarantees hold"
+		if worst > guard {
+			verdict = "guard breached — collisions possible at any slot phase"
+		}
+		fmt.Printf("%-16s after merge: worst old-edge skew %.3f vs guard %.2f, %d collision samples → %s\n",
+			name, worst, guard, c, verdict)
+	}
+	merged(gradsync.AOPT(), "AOPT")
+	merged(gradsync.MaxSyncAlgo(), "max-propagation")
+	fmt.Println("\nthe gradient guarantee is exactly what TDMA needs: neighbors stay aligned even while global skew is large")
+}

@@ -1,0 +1,144 @@
+package gradsync
+
+import (
+	"math"
+	"testing"
+)
+
+// TestStaticLineBasicInvariants runs AOPT on a static line under the
+// skew-building two-group drift adversary and checks the theorem-level
+// invariants: bounded global skew, small stable adjacent skew, no trigger
+// conflicts, clock-rate envelope.
+func TestStaticLineBasicInvariants(t *testing.T) {
+	n := 16
+	net := MustNew(Config{
+		Topology:  LineTopology(n),
+		Drift:     TwoGroupDrift(n / 2),
+		Estimates: OracleEstimates("random"),
+		Seed:      1,
+	})
+
+	horizon := 600.0
+	maxGlobal := 0.0
+	maxAdj := 0.0
+	prevClocks := net.Clocks()
+	prevT := 0.0
+	rho, mu := net.cfg.Rho, net.cfg.Mu
+	net.Every(1.0, func(now float64) {
+		if g := net.GlobalSkew(); g > maxGlobal {
+			maxGlobal = g
+		}
+		// Rate envelope: every logical clock advances within
+		// [(1−ρ)Δt, (1+ρ)(1+µ)Δt].
+		// Sampling happens at event boundaries, so a full integration tick
+		// may fall just inside or outside the interval; allow one tick of
+		// slop at the fastest rate.
+		cl := net.Clocks()
+		dt := now - prevT
+		slop := net.cfg.Tick * (1 + rho) * (1 + mu)
+		for u, v := range cl {
+			dl := v - prevClocks[u]
+			if dl < (1-rho)*dt-slop || dl > (1+rho)*(1+mu)*dt+slop {
+				t.Fatalf("t=%v node %d: clock rate %v outside envelope [%v, %v]",
+					now, u, dl/dt, 1-rho, (1+rho)*(1+mu))
+			}
+		}
+		prevClocks, prevT = cl, now
+	})
+	// Sample adjacent skew only after the system has had time to spread the
+	// initial transient.
+	net.Every(5.0, func(now float64) {
+		if now < 100 {
+			return
+		}
+		if a := net.AdjacentSkew(); a > maxAdj {
+			maxAdj = a
+		}
+	})
+	net.RunFor(horizon)
+
+	if c := net.Core(); c.TriggerConflicts != 0 {
+		t.Errorf("fast and slow triggers held simultaneously %d times (Lemma 5.3 violated)", c.TriggerConflicts)
+	}
+	if maxGlobal > net.GTilde() {
+		t.Errorf("global skew %v exceeded the static estimate G̃=%v", maxGlobal, net.GTilde())
+	}
+	// The stable local skew bound for one hop (Corollary 7.10).
+	bound := net.GradientBoundHops(1)
+	if maxAdj > bound {
+		t.Errorf("adjacent skew %v exceeded gradient bound %v", maxAdj, bound)
+	}
+	if maxAdj == 0 {
+		t.Error("adjacent skew was never sampled")
+	}
+	t.Logf("n=%d G̃=%.3f maxGlobal=%.3f maxAdj=%.3f bound(1 hop)=%.3f κ=%.3f σ=%.1f",
+		n, net.GTilde(), maxGlobal, maxAdj, bound, net.Kappa(), net.Sigma())
+}
+
+// TestDeterminism checks that equal seeds give identical trajectories and
+// different seeds do not.
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []float64 {
+		// Random topology + aggressive drift make the trajectory depend on
+		// every randomness source (graph, delays, estimate errors).
+		net := MustNew(Config{
+			Topology: RandomTopology(12, 0.5),
+			Drift:    TwoGroupDrift(6),
+			Seed:     seed,
+		})
+		net.RunFor(150)
+		return net.Clocks()
+	}
+	a, b := run(42), run(42)
+	for u := range a {
+		if a[u] != b[u] {
+			t.Fatalf("same seed diverged at node %d: %v vs %v", u, a[u], b[u])
+		}
+	}
+	c := run(43)
+	same := true
+	for u := range a {
+		if a[u] != c[u] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical trajectories")
+	}
+}
+
+// TestClocksAdvanceWithinRealTimeEnvelope checks the paper's accuracy claim:
+// logical clocks track real time within the drift envelope.
+func TestClocksAdvanceWithinRealTimeEnvelope(t *testing.T) {
+	net := MustNew(Config{
+		Topology: RingTopology(8),
+		Drift:    LinearDrift(),
+		Seed:     3,
+	})
+	horizon := 300.0
+	net.RunFor(horizon)
+	rho, mu := net.cfg.Rho, net.cfg.Mu
+	for u := 0; u < net.N(); u++ {
+		l := net.Logical(u)
+		if l < (1-rho)*horizon-1e-6 || l > (1+rho)*(1+mu)*horizon+1e-6 {
+			t.Errorf("node %d: L=%v outside [%v, %v]", u, l, (1-rho)*horizon, (1+rho)*(1+mu)*horizon)
+		}
+		// Max estimates never exceed the true maximum clock (Condition 4.3).
+		if net.MaxEstimate(u) > maxOf(net.Clocks())+1e-9 {
+			t.Errorf("node %d: M=%v exceeds max clock %v", u, net.MaxEstimate(u), maxOf(net.Clocks()))
+		}
+		if net.MaxEstimate(u) < net.Logical(u)-1e-9 {
+			t.Errorf("node %d: M=%v below own clock %v", u, net.MaxEstimate(u), net.Logical(u))
+		}
+	}
+}
+
+func maxOf(xs []float64) float64 {
+	best := math.Inf(-1)
+	for _, x := range xs {
+		if x > best {
+			best = x
+		}
+	}
+	return best
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import "math"
+
+// SnapEdge is an edge in a system snapshot: its weight κ_e and the level up
+// to which *both* endpoints have inserted it (the edge is in E_s(t) of
+// Definition 5.8 for every s ≤ Level).
+type SnapEdge struct {
+	U, V  int
+	Kappa float64
+	Level int
+}
+
+// Snapshot captures the logical clocks and the leveled edge sets at one
+// instant, for offline verification of the paper's legality definitions.
+type Snapshot struct {
+	L     []float64
+	Edges []SnapEdge
+}
+
+// adjacency builds per-node edge lists.
+func (s *Snapshot) adjacency() [][]SnapEdge {
+	adj := make([][]SnapEdge, len(s.L))
+	for _, e := range s.Edges {
+		adj[e.U] = append(adj[e.U], e)
+		adj[e.V] = append(adj[e.V], SnapEdge{U: e.V, V: e.U, Kappa: e.Kappa, Level: e.Level})
+	}
+	return adj
+}
+
+// MaxPsi computes Ψˢ_u of Definition 5.12: the maximum over level-s paths
+// p = (u,…,v) of L_v − L_u − (s+½)κ_p. Because κ > 0, the maximum over
+// walks equals the maximum over simple paths, which are enumerated by DFS;
+// intended for the small graphs used in verification tests (n ≲ 12).
+func (s *Snapshot) MaxPsi(u, level int) float64 {
+	adj := s.adjacency()
+	visited := make([]bool, len(s.L))
+	best := 0.0 // the empty path (u) has ψ = 0
+	var dfs func(at int, kappaP float64)
+	dfs = func(at int, kappaP float64) {
+		if v := s.L[at] - s.L[u] - (float64(level)+0.5)*kappaP; v > best {
+			best = v
+		}
+		visited[at] = true
+		for _, e := range adj[at] {
+			if e.Level >= level && !visited[e.V] {
+				dfs(e.V, kappaP+e.Kappa)
+			}
+		}
+		visited[at] = false
+	}
+	dfs(u, 0)
+	return best
+}
+
+// MaxXi computes Ξˢ_u of Definition 5.11: the maximum over level-s paths
+// p = (u,…,v) of L_u − L_v − s·κ_p.
+func (s *Snapshot) MaxXi(u, level int) float64 {
+	adj := s.adjacency()
+	visited := make([]bool, len(s.L))
+	best := 0.0
+	var dfs func(at int, kappaP float64)
+	dfs = func(at int, kappaP float64) {
+		if v := s.L[u] - s.L[at] - float64(level)*kappaP; v > best {
+			best = v
+		}
+		visited[at] = true
+		for _, e := range adj[at] {
+			if e.Level >= level && !visited[e.V] {
+				dfs(e.V, kappaP+e.Kappa)
+			}
+		}
+		visited[at] = false
+	}
+	dfs(u, 0)
+	return best
+}
+
+// LegalityViolation describes a failed legality check.
+type LegalityViolation struct {
+	Node  int
+	Level int
+	Psi   float64
+	Bound float64 // C_s/2
+}
+
+// CheckLegality verifies (C,s)-legality (Definition 5.13) at every node for
+// levels 1..maxLevel and returns all violations: states where
+// Ψˢ_u ≥ C_s/2 + slack. slack absorbs simulation discretization.
+func (s *Snapshot) CheckLegality(seq GradientSeq, maxLevel int, slack float64) []LegalityViolation {
+	var out []LegalityViolation
+	for u := range s.L {
+		for lvl := 1; lvl <= maxLevel; lvl++ {
+			psi := s.MaxPsi(u, lvl)
+			if bound := seq(lvl) / 2; psi >= bound+slack {
+				out = append(out, LegalityViolation{Node: u, Level: lvl, Psi: psi, Bound: bound})
+			}
+		}
+	}
+	return out
+}
+
+// PairSkewBoundCheck verifies the end-to-end gradient guarantee of
+// Corollary 7.10 between every pair of nodes: |L_u − L_v| ≤ (s(p)+1)·κ_p
+// where κ_p is the minimum weight of a fully-inserted path between them.
+// It returns the worst ratio skew/bound observed (≤ 1 means the guarantee
+// holds) and the pair attaining it. Pairs not connected by fully-inserted
+// edges are skipped.
+func (s *Snapshot) PairSkewBoundCheck(gHat, sigma float64) (worst float64, worstU, worstV int) {
+	n := len(s.L)
+	const inf = math.MaxFloat64
+	// All-pairs shortest κ-paths over fully inserted edges (Floyd-Warshall;
+	// verification-scale graphs only).
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = inf
+			}
+		}
+	}
+	for _, e := range s.Edges {
+		if e.Level != InfLevel {
+			continue
+		}
+		if e.Kappa < d[e.U][e.V] {
+			d[e.U][e.V] = e.Kappa
+			d[e.V][e.U] = e.Kappa
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if d[i][k] == inf {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if d[k][j] == inf {
+					continue
+				}
+				if v := d[i][k] + d[k][j]; v < d[i][j] {
+					d[i][j] = v
+				}
+			}
+		}
+	}
+	worst, worstU, worstV = 0, -1, -1
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d[i][j] == inf || d[i][j] == 0 {
+				continue
+			}
+			bound := GradientSkewBound(gHat, sigma, d[i][j])
+			if bound <= 0 {
+				continue
+			}
+			ratio := math.Abs(s.L[i]-s.L[j]) / bound
+			if ratio > worst {
+				worst, worstU, worstV = ratio, i, j
+			}
+		}
+	}
+	return worst, worstU, worstV
+}

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+// lineSnapshot builds an n-node path with uniform κ and level, and the given
+// clock values.
+func lineSnapshot(l []float64, kappa float64, level int) *Snapshot {
+	s := &Snapshot{L: l}
+	for i := 0; i+1 < len(l); i++ {
+		s.Edges = append(s.Edges, SnapEdge{U: i, V: i + 1, Kappa: kappa, Level: level})
+	}
+	return s
+}
+
+func TestMaxPsiOnLine(t *testing.T) {
+	// Clocks 0, 5, 9: from node 0, the best ψ¹-path is to node 2:
+	// 9 − 0 − 1.5·2 = 6.
+	s := lineSnapshot([]float64{0, 5, 9}, 1, InfLevel)
+	if got := s.MaxPsi(0, 1); math.Abs(got-6) > 1e-12 {
+		t.Errorf("MaxPsi(0,1) = %v, want 6", got)
+	}
+	// From node 2 all paths go down in clock value; empty path wins (ψ = 0).
+	if got := s.MaxPsi(2, 1); got != 0 {
+		t.Errorf("MaxPsi(2,1) = %v, want 0", got)
+	}
+	// Higher level, higher penalty: 9 − 0 − 3.5·2 = 2.
+	if got := s.MaxPsi(0, 3); math.Abs(got-2) > 1e-12 {
+		t.Errorf("MaxPsi(0,3) = %v, want 2", got)
+	}
+}
+
+func TestMaxXiOnLine(t *testing.T) {
+	// Ξ measures how far ahead u is: from node 2 (clock 9) toward node 0:
+	// 9 − 0 − 1·2 = 7 at level 1.
+	s := lineSnapshot([]float64{0, 5, 9}, 1, InfLevel)
+	if got := s.MaxXi(2, 1); math.Abs(got-7) > 1e-12 {
+		t.Errorf("MaxXi(2,1) = %v, want 7", got)
+	}
+	if got := s.MaxXi(0, 1); got != 0 {
+		t.Errorf("MaxXi(0,1) = %v, want 0", got)
+	}
+}
+
+func TestLevelRestrictsPaths(t *testing.T) {
+	// Edge 0–1 at level 5, edge 1–2 only at level 2: a level-3 path cannot
+	// cross 1–2.
+	s := &Snapshot{
+		L: []float64{0, 1, 100},
+		Edges: []SnapEdge{
+			{U: 0, V: 1, Kappa: 1, Level: 5},
+			{U: 1, V: 2, Kappa: 1, Level: 2},
+		},
+	}
+	psi3 := s.MaxPsi(0, 3)
+	if want := 1.0 - 3.5; psi3 != 0 && math.Abs(psi3-want) > 1e-12 {
+		// ψ for path (0,1) is negative, so the empty path (0) gives 0.
+		t.Errorf("MaxPsi(0,3) = %v, want 0 (level-2 edge excluded)", psi3)
+	}
+	psi2 := s.MaxPsi(0, 2)
+	if want := 100.0 - 0 - 2.5*2; math.Abs(psi2-want) > 1e-12 {
+		t.Errorf("MaxPsi(0,2) = %v, want %v (level-2 path allowed)", psi2, want)
+	}
+}
+
+func TestCheckLegalityFlagsViolation(t *testing.T) {
+	gHat := 4.0
+	seq := StandardSeq(gHat, 3)
+	// Perfectly synchronized: no violations at any level.
+	ok := lineSnapshot([]float64{0, 0, 0, 0}, 1, InfLevel)
+	if v := ok.CheckLegality(seq, 6, 0); len(v) != 0 {
+		t.Fatalf("violations on synchronized snapshot: %+v", v)
+	}
+	// Massive adjacent skew: level with C_s small must be violated.
+	bad := lineSnapshot([]float64{0, 7.9, 0, 0}, 1, InfLevel)
+	v := bad.CheckLegality(seq, 6, 0)
+	if len(v) == 0 {
+		t.Fatal("no violations on snapshot with skew 7.9 over one κ=1 edge")
+	}
+	// The violation must be at a level where (s+1/2)·1 + C_s/2 < 7.9.
+	found := false
+	for _, viol := range v {
+		if viol.Psi >= viol.Bound {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations reported but none exceed bound: %+v", v)
+	}
+}
+
+func TestPairSkewBoundCheck(t *testing.T) {
+	gHat, sigma := 10.0, 3.0
+	// Adjacent skew exactly at the bound for κ_p=1 should give ratio ≈ 1.
+	bound := GradientSkewBound(gHat, sigma, 1)
+	s := lineSnapshot([]float64{0, bound}, 1, InfLevel)
+	worst, u, v := s.PairSkewBoundCheck(gHat, sigma)
+	if math.Abs(worst-1) > 1e-9 || u != 0 || v != 1 {
+		t.Errorf("worst ratio = %v at (%d,%d), want 1 at (0,1)", worst, u, v)
+	}
+	// Edges not fully inserted are ignored.
+	s2 := lineSnapshot([]float64{0, 100}, 1, 3)
+	if w, _, _ := s2.PairSkewBoundCheck(gHat, sigma); w != 0 {
+		t.Errorf("partially inserted edges contributed to pair check: %v", w)
+	}
+}
+
+func TestPairSkewRespectsWeightedDistance(t *testing.T) {
+	gHat, sigma := 10.0, 3.0
+	// Two parallel routes between 0 and 2: a heavy direct edge and a light
+	// two-hop path; the binding constraint uses the lighter path.
+	s := &Snapshot{
+		L: []float64{0, 1.5, 3},
+		Edges: []SnapEdge{
+			{U: 0, V: 2, Kappa: 10, Level: InfLevel},
+			{U: 0, V: 1, Kappa: 1, Level: InfLevel},
+			{U: 1, V: 2, Kappa: 1, Level: InfLevel},
+		},
+	}
+	worst, u, v := s.PairSkewBoundCheck(gHat, sigma)
+	wantBound := GradientSkewBound(gHat, sigma, 2) // κ_p = 2 via the light path
+	if want := 3 / wantBound; math.Abs(worst-want) > 1e-9 || u != 0 || v != 2 {
+		t.Errorf("worst = %v at (%d,%d), want %v at (0,2) — light path must bind, not the κ=10 edge",
+			worst, u, v, want)
+	}
+}

@@ -1,0 +1,165 @@
+package baselines
+
+import (
+	"fmt"
+
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// BlockSync is the single-threshold gradient algorithm of [11] (Kuhn,
+// Locher, Oshman, SPAA 2009), expressed in the same trigger style as AOPT
+// but with exactly one level whose block size S replaces s·κ. The paper
+// proves its stable local skew is Θ(S) provided S ∈ Ω(√(ρ·D)); experiment
+// E3 sweeps S to expose that threshold empirically.
+type BlockSync struct {
+	// S is the block size (target local skew scale).
+	S float64
+	// Rho, Mu, Iota as in the core algorithm.
+	Rho, Mu, Iota float64
+
+	rt   *runner.Runtime
+	l    []float64
+	m    []float64
+	mult []float64
+
+	// FastTicks/SlowTicks count node-ticks per mode.
+	FastTicks, SlowTicks uint64
+}
+
+var _ runner.Algorithm = (*BlockSync)(nil)
+
+// NewBlockSync constructs the baseline; S must be positive.
+func NewBlockSync(s, rho, mu float64) (*BlockSync, error) {
+	if s <= 0 {
+		return nil, fmt.Errorf("baselines: block size S must be positive, got %v", s)
+	}
+	if mu <= 0 || rho <= 0 {
+		return nil, fmt.Errorf("baselines: rho and mu must be positive")
+	}
+	return &BlockSync{S: s, Rho: rho, Mu: mu, Iota: 0.05}, nil
+}
+
+// Name implements runner.Algorithm.
+func (b *BlockSync) Name() string { return "blocksync" }
+
+// Init implements runner.Algorithm.
+func (b *BlockSync) Init(rt *runner.Runtime) {
+	b.rt = rt
+	n := rt.N()
+	b.l = make([]float64, n)
+	b.m = make([]float64, n)
+	b.mult = make([]float64, n)
+	for i := range b.mult {
+		b.mult[i] = 1
+	}
+}
+
+// OnEdgeUp implements runner.Algorithm; neighbors are used immediately (the
+// [11] algorithm has no leveled insertion).
+func (b *BlockSync) OnEdgeUp(_, _ int, _ sim.Time) {}
+
+// OnEdgeDown implements runner.Algorithm.
+func (b *BlockSync) OnEdgeDown(_, _ int, _ sim.Time) {}
+
+// OnBeacon implements runner.Algorithm: max-estimate flooding as in AOPT,
+// with the one-tick discretization compensation on the transit credit.
+func (b *BlockSync) OnBeacon(to, _ int, bc transport.Beacon, d transport.Delivery) {
+	credit := d.MinTransit - b.rt.Tick()
+	if credit < 0 {
+		credit = 0
+	}
+	cand := bc.M + (1-b.Rho)*credit
+	if cand > b.m[to] {
+		b.m[to] = cand
+	}
+}
+
+// OnControl implements runner.Algorithm.
+func (b *BlockSync) OnControl(_, _ int, _ any, _ transport.Delivery) {}
+
+// Step implements runner.Algorithm.
+func (b *BlockSync) Step(_ sim.Time, dH []float64) {
+	for u := range b.l {
+		b.mult[u] = b.decideMode(u)
+	}
+	oneMinus := (1 - b.Rho) / (1 + b.Rho)
+	for u := range b.l {
+		b.l[u] += b.mult[u] * dH[u]
+		if b.m[u] <= b.l[u] {
+			b.m[u] = b.l[u]
+		} else {
+			b.m[u] += oneMinus * dH[u]
+			if b.m[u] < b.l[u] {
+				b.m[u] = b.l[u]
+			}
+		}
+	}
+}
+
+func (b *BlockSync) decideMode(u int) float64 {
+	lu := b.l[u]
+	delta := b.S / 20
+	var nbrs []int
+	nbrs = b.rt.Dyn.Neighbors(u, nbrs)
+	fastWitness, fastBlocked := false, false
+	slowWitness, slowBlocked := false, false
+	for _, v := range nbrs {
+		est, ok := b.rt.Est.Estimate(u, v)
+		if !ok {
+			continue
+		}
+		eps := b.rt.Est.Eps(u, v)
+		lp, okP := b.rt.Dyn.Params(u, v)
+		if !okP {
+			continue
+		}
+		tau := lp.Tau
+		if est-lu >= b.S-eps {
+			fastWitness = true
+		}
+		if lu-est > b.S+2*b.Mu*tau+eps {
+			fastBlocked = true
+		}
+		if lu-est >= 1.5*b.S-delta-eps {
+			slowWitness = true
+		}
+		if est-lu > 1.5*b.S+delta+eps+b.Mu*(1+b.Rho)*tau {
+			slowBlocked = true
+		}
+	}
+	switch {
+	case slowWitness && !slowBlocked:
+		b.SlowTicks++
+		return 1
+	case fastWitness && !fastBlocked:
+		b.FastTicks++
+		return 1 + b.Mu
+	case lu >= b.m[u]-1e-12:
+		b.SlowTicks++
+		return 1
+	case lu <= b.m[u]-b.Iota:
+		b.FastTicks++
+		return 1 + b.Mu
+	default:
+		if b.mult[u] > 1 {
+			b.FastTicks++
+		} else {
+			b.SlowTicks++
+		}
+		return b.mult[u]
+	}
+}
+
+// Logical implements runner.Algorithm.
+func (b *BlockSync) Logical(u int) float64 { return b.l[u] }
+
+// MaxEstimate implements runner.Algorithm.
+func (b *BlockSync) MaxEstimate(u int) float64 { return b.m[u] }
+
+// SetLogical supports corrupted-start experiments.
+func (b *BlockSync) SetLogical(u int, v float64) {
+	b.l[u] = v
+	b.m[u] = v
+}

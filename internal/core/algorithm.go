@@ -1,0 +1,603 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// insertEdgeMsg is the handshake payload of Listing 1: the agreed logical
+// start time L_ins and the global skew estimate the insertion uses.
+type insertEdgeMsg struct {
+	LIns   float64
+	GTilde float64
+}
+
+// edgeRec is one node's state for a (potential) estimate edge, as described
+// in Section 4.3.2: the implicit representation of all neighbor sets N^s via
+// the pair (T₀, I), plus handshake bookkeeping.
+type edgeRec struct {
+	peer int
+	// Derived per-edge constants (Section 4.3.1).
+	eps   float64 // estimate uncertainty ε_e of the estimate layer
+	tau   float64 // detection delay τ_e
+	delay float64 // message delay bound T_e
+	kappa float64 // weight κ_e (eq. 9)
+	delta float64 // slow-trigger slack δ_e
+
+	up      bool
+	upSince sim.Time
+	lAtUp   float64 // L_self when the edge was discovered
+
+	// Insertion state: when haveTimes, the edge is being (or has been)
+	// inserted with base T₀ and duration I. preInserted marks time-0 edges,
+	// which the paper places in all neighbor sets immediately.
+	preInserted bool
+	haveTimes   bool
+	t0          float64
+	insDur      float64
+	// Decaying-weight insertion (§5.5 strategy): once decaying, the edge is
+	// in all neighbor sets with weight κ(l) = max(κ_e, κ₀ − (l−t0)·rate),
+	// evaluated against the local logical clock l.
+	decaying bool
+	kappa0   float64
+	// dynamicGrid marks the §7 insertion-time schedule (Lemma 7.1 offsets)
+	// instead of the Listing 2 offsets.
+	dynamicGrid bool
+
+	check *sim.Event // pending handshake check
+}
+
+// Algorithm is the AOPT implementation; it satisfies runner.Algorithm.
+type Algorithm struct {
+	p  Params
+	rt *runner.Runtime
+	n  int
+
+	l    []float64 // logical clocks L_u
+	m    []float64 // max estimates M_u
+	mult []float64 // current rate multiplier (1 or 1+µ)
+
+	edges []map[int]*edgeRec
+	// peers[u] lists the known peer ids in ascending order so trigger
+	// evaluation iterates deterministically (maps would randomize RNG draw
+	// order through the estimate layer).
+	peers [][]int
+
+	minKappa float64
+	sMax     int
+
+	// deltaFraction positions δ_e inside its legal range
+	// (0, κ/2−2ε−2µτ); the default 0.5 is the midpoint. Values ≥ 1 violate
+	// the range and break Lemma 5.3 — settable only through
+	// OverrideDeltaFraction for the E12 ablation.
+	deltaFraction float64
+
+	// evals is scratch for trigger evaluation.
+	evals []edgeEval
+
+	// Counters (diagnostics; tests assert on several).
+	FastTicks        uint64 // node-ticks spent in fast mode
+	SlowTicks        uint64 // node-ticks spent in slow mode
+	TriggerConflicts uint64 // ticks where both triggers held (must stay 0, Lemma 5.3)
+	MissingEstimates uint64 // trigger evaluations lacking an estimate
+	Insertions       uint64 // completed computeInsertionTimes calls
+	HandshakeAborts  uint64 // handshake checks that found the edge gone
+}
+
+var _ runner.Algorithm = (*Algorithm)(nil)
+
+// New constructs the algorithm; parameters are validated and defaulted.
+func New(p Params) (*Algorithm, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return &Algorithm{p: p, minKappa: math.Inf(1), deltaFraction: 0.5}, nil
+}
+
+// MustNew is New for tests and examples with known-good parameters.
+func MustNew(p Params) *Algorithm {
+	a, err := New(p)
+	if err != nil {
+		panic(fmt.Sprintf("core: invalid params: %v", err))
+	}
+	return a
+}
+
+// Name implements runner.Algorithm.
+func (a *Algorithm) Name() string { return "aopt" }
+
+// OverrideDeltaFraction repositions the slow-trigger slack δ_e at the given
+// fraction of its legal range (0, κ/2−2ε−2µτ). Fractions ≥ 1 leave the
+// legal range and are permitted only so the E12 ablation can demonstrate
+// that Lemma 5.3 (trigger mutual exclusion) then fails; call before any
+// edges are discovered.
+func (a *Algorithm) OverrideDeltaFraction(f float64) {
+	a.deltaFraction = f
+}
+
+// Params returns the validated parameters.
+func (a *Algorithm) Params() Params { return a.p }
+
+// Init implements runner.Algorithm.
+func (a *Algorithm) Init(rt *runner.Runtime) {
+	a.rt = rt
+	a.n = rt.N()
+	a.l = make([]float64, a.n)
+	a.m = make([]float64, a.n)
+	a.mult = make([]float64, a.n)
+	for i := range a.mult {
+		a.mult[i] = 1
+	}
+	a.edges = make([]map[int]*edgeRec, a.n)
+	for i := range a.edges {
+		a.edges[i] = make(map[int]*edgeRec)
+	}
+	a.peers = make([][]int, a.n)
+	a.refreshSMax()
+}
+
+// Logical implements runner.Algorithm.
+func (a *Algorithm) Logical(u int) float64 { return a.l[u] }
+
+// MaxEstimate implements runner.Algorithm.
+func (a *Algorithm) MaxEstimate(u int) float64 { return a.m[u] }
+
+// Mult returns node u's current rate multiplier (1 = slow, 1+µ = fast).
+func (a *Algorithm) Mult(u int) float64 { return a.mult[u] }
+
+// SetLogical overrides a node's clocks before the run starts; used by the
+// self-stabilization experiments to model arbitrary corrupted initial state.
+func (a *Algorithm) SetLogical(u int, v float64) {
+	a.l[u] = v
+	a.m[u] = v
+}
+
+// gTilde returns node u's current global skew estimate.
+func (a *Algorithm) gTilde(u int, t sim.Time) float64 {
+	if a.p.Skew != nil {
+		return a.p.Skew.GTilde(u, t)
+	}
+	return a.p.GTilde
+}
+
+// refreshSMax derives the trigger level cap: beyond
+// s > (G̃ + 2ε)/κ_min the witness conditions are unsatisfiable because no
+// estimate can be further than G̃+ε from L_u.
+func (a *Algorithm) refreshSMax() {
+	if a.p.MaxTriggerLevel > 0 {
+		a.sMax = a.p.MaxTriggerLevel
+		return
+	}
+	g := a.p.GTilde
+	if a.p.Skew != nil {
+		g = a.p.Skew.GTilde(0, 0)
+	}
+	if math.IsInf(a.minKappa, 1) || a.minKappa <= 0 {
+		a.sMax = 8
+		return
+	}
+	s := int(math.Ceil(g/a.minKappa)) + 3
+	if s < 4 {
+		s = 4
+	}
+	if s > 96 {
+		s = 96
+	}
+	a.sMax = s
+}
+
+// delta returns the Listing 1 waiting period Δ for an edge.
+func (a *Algorithm) handshakeDelta(rec *edgeRec) float64 {
+	p := a.p
+	return (1+p.Rho)*(1+p.Mu)*(rec.delay+rec.tau)/(1-p.Rho) + rec.tau
+}
+
+// ensureRec creates (or returns) u's record for edge {u,v}, deriving the
+// per-edge constants from the link parameters and estimate layer.
+func (a *Algorithm) ensureRec(u, v int) *edgeRec {
+	if rec, ok := a.edges[u][v]; ok {
+		return rec
+	}
+	lp, ok := a.rt.Dyn.Params(u, v)
+	if !ok {
+		return nil
+	}
+	eps := a.rt.Est.Eps(u, v)
+	kappa := analysis.Kappa(eps, lp.Tau, a.p.Mu, a.p.KappaFactor)
+	_, deltaHi := analysis.DeltaRange(kappa, eps, lp.Tau, a.p.Mu)
+	rec := &edgeRec{
+		peer:  v,
+		eps:   eps,
+		tau:   lp.Tau,
+		delay: lp.Delay,
+		kappa: kappa,
+		delta: a.deltaFraction * deltaHi,
+	}
+	a.edges[u][v] = rec
+	a.peers[u] = append(a.peers[u], v)
+	sort.Ints(a.peers[u])
+	if kappa < a.minKappa {
+		a.minKappa = kappa
+		a.refreshSMax()
+	}
+	return rec
+}
+
+// OnEdgeUp implements runner.Algorithm; it is Listing 1's discovery path.
+func (a *Algorithm) OnEdgeUp(self, peer int, t sim.Time) {
+	rec := a.ensureRec(self, peer)
+	if rec == nil {
+		return
+	}
+	rec.up = true
+	rec.upSince = t
+	rec.lAtUp = a.l[self]
+	if t == 0 {
+		// Paper convention: edges present at time 0 populate all neighbor
+		// sets immediately (N^s_u(0) = N_u(0) for all s).
+		rec.preInserted = true
+		rec.haveTimes = false
+		return
+	}
+	if self < peer { // leader of the edge
+		a.scheduleLeaderCheck(self, rec, t)
+	}
+}
+
+// OnEdgeDown implements runner.Algorithm: the node removes the peer from all
+// neighbor sets and forgets the insertion times (T_s := ⊥, Listing 1).
+func (a *Algorithm) OnEdgeDown(self, peer int, t sim.Time) {
+	rec, ok := a.edges[self][peer]
+	if !ok {
+		return
+	}
+	rec.up = false
+	rec.preInserted = false
+	rec.haveTimes = false
+	rec.decaying = false
+	if rec.check != nil {
+		a.rt.Engine.Cancel(rec.check)
+		rec.check = nil
+	}
+}
+
+// scheduleLeaderCheck waits at least Δ and until the edge has been visible
+// for a logical duration of (1+ρ)(1+µ)Δ, then agrees insertion times with
+// the peer (Listing 1 lines 4–10).
+func (a *Algorithm) scheduleLeaderCheck(self int, rec *edgeRec, discovered sim.Time) {
+	delta := a.handshakeDelta(rec)
+	needLogical := (1 + a.p.Rho) * (1 + a.p.Mu) * delta
+	var attempt func(t sim.Time)
+	attempt = func(t sim.Time) {
+		rec.check = nil
+		if !rec.up || rec.upSince != discovered {
+			a.HandshakeAborts++
+			return
+		}
+		if gap := needLogical - (a.l[self] - rec.lAtUp); gap > 0 {
+			// Logical window not yet covered; retry once it surely is
+			// (logical clocks advance at rate ≥ 1−ρ).
+			rec.check = a.rt.Engine.After(gap/(1-a.p.Rho)+a.rt.Tick(), attempt)
+			return
+		}
+		g := a.gTilde(self, t)
+		lIns := a.l[self] + g + (1+a.p.Rho)*(1+a.p.Mu)*rec.delay
+		a.rt.Net.SendControl(self, rec.peer, insertEdgeMsg{LIns: lIns, GTilde: g})
+		a.computeInsertionTimes(self, rec, lIns, g)
+	}
+	rec.check = a.rt.Engine.After(delta, attempt)
+}
+
+// OnControl implements runner.Algorithm; handles insertedge messages
+// (Listing 1 lines 11–14).
+func (a *Algorithm) OnControl(to, from int, payload any, d transport.Delivery) {
+	msg, ok := payload.(insertEdgeMsg)
+	if !ok {
+		return
+	}
+	rec, okRec := a.edges[to][from]
+	if !okRec || !rec.up {
+		a.HandshakeAborts++
+		return
+	}
+	discovered := rec.upSince
+	minWait := rec.delay + rec.tau
+	maxWait := a.handshakeDelta(rec) - rec.tau
+	needLogical := (1 + a.p.Rho) * (1 + a.p.Mu) * minWait
+	received := d.At
+	var attempt func(t sim.Time)
+	attempt = func(t sim.Time) {
+		rec.check = nil
+		if !rec.up || rec.upSince != discovered {
+			a.HandshakeAborts++
+			return
+		}
+		if a.l[to]-rec.lAtUp >= needLogical {
+			a.computeInsertionTimes(to, rec, msg.LIns, msg.GTilde)
+			return
+		}
+		if t-received < maxWait {
+			rec.check = a.rt.Engine.After(a.rt.Tick(), attempt)
+			return
+		}
+		a.HandshakeAborts++
+	}
+	rec.check = a.rt.Engine.After(minWait, attempt)
+}
+
+// computeInsertionTimes is Listing 2 (or, for InsertDecaying, the start of
+// the §5.5 weight-decay schedule).
+func (a *Algorithm) computeInsertionTimes(self int, rec *edgeRec, lIns, g float64) {
+	if a.p.Insertion == InsertDecaying {
+		rec.t0 = lIns
+		rec.insDur = 0
+		rec.kappa0 = g + 4*rec.kappa
+		rec.decaying = true
+		rec.haveTimes = true
+		a.Insertions++
+		return
+	}
+	var insDur float64
+	switch a.p.Insertion {
+	case InsertDynamic:
+		insDur = analysis.InsertionDurationDynamic(g, a.p.Mu, a.p.Rho, a.p.B, rec.delay, rec.tau)
+		rec.dynamicGrid = true
+	case InsertCustom:
+		insDur = a.p.InsertionFactor * g / a.p.Mu
+		rec.dynamicGrid = false
+	default:
+		insDur = analysis.InsertionDurationStatic(g, a.p.Mu, a.p.Rho)
+		rec.dynamicGrid = false
+	}
+	rec.t0 = analysis.InsertionBase(lIns, insDur)
+	rec.insDur = insDur
+	rec.haveTimes = true
+	a.Insertions++
+}
+
+// kappaAt returns the edge weight at local logical time l: the static κ_e,
+// or the decaying weight during a §5.5-style insertion.
+func (a *Algorithm) kappaAt(rec *edgeRec, l float64) float64 {
+	if !rec.decaying || l <= rec.t0 {
+		if rec.decaying {
+			return rec.kappa0
+		}
+		return rec.kappa
+	}
+	k := rec.kappa0 - (l-rec.t0)*a.p.DecayRate*a.p.Mu
+	if k <= rec.kappa {
+		// Decay finished: the edge behaves like a fully inserted one.
+		rec.decaying = false
+		return rec.kappa
+	}
+	return k
+}
+
+// deltaAt returns the slow-trigger slack for the current weight.
+func (a *Algorithm) deltaAt(rec *edgeRec, kappa float64) float64 {
+	if kappa == rec.kappa {
+		return rec.delta
+	}
+	_, hi := analysis.DeltaRange(kappa, rec.eps, rec.tau, a.p.Mu)
+	return a.deltaFraction * hi
+}
+
+// level returns the highest s such that the peer is in N^s_self, per the
+// implicit representation of Section 4.3.2.
+func (a *Algorithm) level(self int, rec *edgeRec) int {
+	switch {
+	case !rec.up:
+		return 0
+	case rec.preInserted:
+		return analysis.InfLevel
+	case !rec.haveTimes:
+		return 0
+	case rec.decaying || a.p.Insertion == InsertDecaying && rec.insDur == 0:
+		// §5.5 strategy: in all neighbor sets as soon as the agreed logical
+		// start time is reached; safety comes from the inflated weight.
+		if a.l[self] >= rec.t0 {
+			return analysis.InfLevel
+		}
+		return 0
+	case rec.dynamicGrid:
+		return analysis.LevelAtDynamic(a.l[self], rec.t0, rec.insDur)
+	default:
+		return analysis.LevelAt(a.l[self], rec.t0, rec.insDur)
+	}
+}
+
+// EdgeLevel exposes the level of edge {u,v} as seen by u (for metrics and
+// legality snapshots). Zero when the edge is down or not yet inserted.
+func (a *Algorithm) EdgeLevel(u, v int) int {
+	rec, ok := a.edges[u][v]
+	if !ok {
+		return 0
+	}
+	return a.level(u, rec)
+}
+
+// EdgeKappa returns the current weight κ of edge {u,v} as seen by u (0 if
+// unknown). During a decaying-weight insertion this is the inflated,
+// shrinking weight; otherwise the static κ_e.
+func (a *Algorithm) EdgeKappa(u, v int) float64 {
+	rec, ok := a.edges[u][v]
+	if !ok {
+		return 0
+	}
+	return a.kappaAt(rec, a.l[u])
+}
+
+// OnBeacon implements runner.Algorithm: max-estimate flooding. The receiver
+// may credit the certified minimum transit at the minimum logical rate and
+// stay below the network maximum (Condition 4.3). One integration tick is
+// subtracted from the credit because clocks grow in discrete steps, so the
+// continuous-time argument only covers fully elapsed ticks.
+func (a *Algorithm) OnBeacon(to, from int, b transport.Beacon, d transport.Delivery) {
+	credit := d.MinTransit - a.rt.Tick()
+	if credit < 0 {
+		credit = 0
+	}
+	cand := b.M + (1-a.p.Rho)*credit
+	if cand > a.m[to] {
+		a.m[to] = cand
+	}
+}
+
+// edgeEval caches per-edge values for one trigger evaluation.
+type edgeEval struct {
+	rec   *edgeRec
+	level int
+	est   float64
+	kappa float64
+	delta float64
+}
+
+// Step implements runner.Algorithm: first decide every node's mode from the
+// pre-tick state (Listing 3), then integrate clocks and max estimates.
+func (a *Algorithm) Step(t sim.Time, dH []float64) {
+	for u := 0; u < a.n; u++ {
+		a.mult[u] = a.decideMode(u)
+	}
+	oneMinus := (1 - a.p.Rho) / (1 + a.p.Rho)
+	for u := 0; u < a.n; u++ {
+		a.l[u] += a.mult[u] * dH[u]
+		if a.m[u] <= a.l[u] {
+			// M_u = L_u: the estimate moves with the logical clock.
+			a.m[u] = a.l[u]
+		} else {
+			// M_u > L_u: advance at (1−ρ)/(1+ρ) times the hardware rate.
+			a.m[u] += oneMinus * dH[u]
+			if a.m[u] < a.l[u] {
+				a.m[u] = a.l[u]
+			}
+		}
+	}
+}
+
+// decideMode evaluates the triggers of Definitions 4.5–4.7 for node u and
+// returns the rate multiplier per Listing 3.
+func (a *Algorithm) decideMode(u int) float64 {
+	a.evals = a.evals[:0]
+	maxLevel := 0
+	for _, peer := range a.peers[u] {
+		rec := a.edges[u][peer]
+		if !rec.up {
+			continue
+		}
+		lvl := a.level(u, rec)
+		if lvl < 1 {
+			continue
+		}
+		est, ok := a.rt.Est.Estimate(u, rec.peer)
+		if !ok {
+			a.MissingEstimates++
+			continue
+		}
+		kappa := a.kappaAt(rec, a.l[u])
+		a.evals = append(a.evals, edgeEval{
+			rec: rec, level: lvl, est: est,
+			kappa: kappa, delta: a.deltaAt(rec, kappa),
+		})
+		if lvl > maxLevel {
+			maxLevel = lvl
+		}
+	}
+	fast := a.fastTrigger(u, maxLevel)
+	slow := a.slowTrigger(u, maxLevel)
+	if fast && slow {
+		a.TriggerConflicts++
+	}
+	switch {
+	case slow:
+		a.SlowTicks++
+		return 1
+	case fast:
+		a.FastTicks++
+		return 1 + a.p.Mu
+	case a.l[u] >= a.m[u]-1e-12:
+		// Slow max-estimate trigger: L_u = M_u.
+		a.SlowTicks++
+		return 1
+	case a.l[u] <= a.m[u]-a.p.Iota:
+		// Fast max-estimate trigger.
+		a.FastTicks++
+		return 1 + a.p.Mu
+	default:
+		// Free region: keep the current mode.
+		if a.mult[u] > 1 {
+			a.FastTicks++
+		} else {
+			a.SlowTicks++
+		}
+		return a.mult[u]
+	}
+}
+
+// fastTrigger is Definition 4.5: ∃s with a level-s neighbor ahead by
+// ≥ s·κ − ε while no level-s neighbor is behind by > s·κ + 2µτ + ε.
+func (a *Algorithm) fastTrigger(u, maxLevel int) bool {
+	lu := a.l[u]
+	top := a.sMax
+	if maxLevel < top {
+		top = maxLevel
+	}
+	for s := 1; s <= top; s++ {
+		fs := float64(s)
+		witness, blocked := false, false
+		for i := range a.evals {
+			ev := &a.evals[i]
+			if ev.level < s {
+				continue
+			}
+			if ev.est-lu >= fs*ev.kappa-ev.rec.eps {
+				witness = true
+			}
+			if lu-ev.est > fs*ev.kappa+2*a.p.Mu*ev.rec.tau+ev.rec.eps {
+				blocked = true
+				break
+			}
+		}
+		if witness && !blocked {
+			return true
+		}
+	}
+	return false
+}
+
+// slowTrigger is Definition 4.6: ∃s with a level-s neighbor behind by
+// ≥ (s+½)κ − δ − ε while no level-s neighbor is ahead by
+// > (s+½)κ + δ + ε + µ(1+ρ)τ.
+func (a *Algorithm) slowTrigger(u, maxLevel int) bool {
+	lu := a.l[u]
+	top := a.sMax
+	if maxLevel < top {
+		top = maxLevel
+	}
+	for s := 1; s <= top; s++ {
+		fs := float64(s) + 0.5
+		witness, blocked := false, false
+		for i := range a.evals {
+			ev := &a.evals[i]
+			if ev.level < s {
+				continue
+			}
+			if lu-ev.est >= fs*ev.kappa-ev.delta-ev.rec.eps {
+				witness = true
+			}
+			if ev.est-lu > fs*ev.kappa+ev.delta+ev.rec.eps+a.p.Mu*(1+a.p.Rho)*ev.rec.tau {
+				blocked = true
+				break
+			}
+		}
+		if witness && !blocked {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,174 @@
+// Package drift models the hardware clocks of the paper's system model
+// (Section 3): each node u has a clock H_u with rate h_u(t) ∈ [1−ρ, 1+ρ],
+// controlled by an adversary. Schedules implement the adversary.
+package drift
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Schedule assigns a drift-bounded rate to every node at every time. Rate
+// must return values in [1−ρ, 1+ρ] for the ρ the schedule was built with;
+// Clamp in this package enforces the envelope defensively.
+type Schedule interface {
+	// Rate returns the hardware clock rate of node u at time t.
+	Rate(u int, t sim.Time) float64
+}
+
+// Clamp limits r to the legal envelope [1−ρ, 1+ρ].
+func Clamp(r, rho float64) float64 {
+	if r < 1-rho {
+		return 1 - rho
+	}
+	if r > 1+rho {
+		return 1 + rho
+	}
+	return r
+}
+
+// Constant gives every node the same fixed rate.
+type Constant struct{ R float64 }
+
+// Rate implements Schedule.
+func (c Constant) Rate(int, sim.Time) float64 { return c.R }
+
+// Perfect is the drift-free schedule (rate 1 everywhere).
+func Perfect() Schedule { return Constant{R: 1} }
+
+// TwoGroup splits nodes at a boundary index: nodes with id < Split run at
+// 1+ρ, the rest at 1−ρ. This is the classic skew-building adversary used in
+// the Ω(D) constructions.
+type TwoGroup struct {
+	Rho   float64
+	Split int
+}
+
+// Rate implements Schedule.
+func (g TwoGroup) Rate(u int, _ sim.Time) float64 {
+	if u < g.Split {
+		return 1 + g.Rho
+	}
+	return 1 - g.Rho
+}
+
+// Linear interpolates rates across node ids from 1+ρ at node 0 down to 1−ρ
+// at node N−1, producing a smooth skew gradient along a line topology.
+type Linear struct {
+	Rho float64
+	N   int
+}
+
+// Rate implements Schedule.
+func (l Linear) Rate(u int, _ sim.Time) float64 {
+	if l.N <= 1 {
+		return 1
+	}
+	frac := float64(u) / float64(l.N-1) // 0..1
+	return 1 + l.Rho*(1-2*frac)
+}
+
+// Sinusoid gives node u rate 1 + ρ·sin(2π(t/Period + u·PhasePerNode)). With
+// distinct phases this exercises time-varying relative drift.
+type Sinusoid struct {
+	Rho          float64
+	Period       float64
+	PhasePerNode float64
+}
+
+// Rate implements Schedule.
+func (s Sinusoid) Rate(u int, t sim.Time) float64 {
+	if s.Period <= 0 {
+		return 1
+	}
+	return 1 + s.Rho*math.Sin(2*math.Pi*(t/s.Period+float64(u)*s.PhasePerNode))
+}
+
+// Flip alternates each node between +ρ and −ρ with a per-node period,
+// flipping at staggered offsets so relative drift direction keeps changing.
+type Flip struct {
+	Rho    float64
+	Period float64
+}
+
+// Rate implements Schedule.
+func (f Flip) Rate(u int, t sim.Time) float64 {
+	if f.Period <= 0 {
+		return 1
+	}
+	phase := math.Floor(t/f.Period) + float64(u)
+	if math.Mod(phase, 2) < 1 {
+		return 1 + f.Rho
+	}
+	return 1 - f.Rho
+}
+
+// RandomWalk gives each node an independent bounded random-walk rate,
+// resampled every Step time units. It is deterministic for a fixed seed.
+type RandomWalk struct {
+	rho  float64
+	step float64
+	// rates[u] is the piecewise-constant path of node u, extended lazily.
+	rates [][]float64
+	rng   *sim.RNG
+}
+
+// NewRandomWalk builds a random-walk schedule for n nodes.
+func NewRandomWalk(rho, step float64, n int, rng *sim.RNG) *RandomWalk {
+	if step <= 0 {
+		panic(fmt.Sprintf("drift: random walk step must be positive, got %v", step))
+	}
+	return &RandomWalk{rho: rho, step: step, rates: make([][]float64, n), rng: rng}
+}
+
+// Rate implements Schedule.
+func (w *RandomWalk) Rate(u int, t sim.Time) float64 {
+	if u < 0 || u >= len(w.rates) {
+		return 1
+	}
+	idx := int(t / w.step)
+	path := w.rates[u]
+	for len(path) <= idx {
+		prev := 0.0
+		if len(path) > 0 {
+			prev = path[len(path)-1]
+		}
+		next := Clamp(1+prev+w.rng.Uniform(-0.3, 0.3)*w.rho, w.rho) - 1
+		path = append(path, next)
+	}
+	w.rates[u] = path
+	return 1 + path[idx]
+}
+
+// Switching wraps another schedule and switches it on only during
+// [From, Until); outside the window every node runs at rate 1. It is used to
+// build skew during a set-up phase and then hold the system steady.
+type Switching struct {
+	Inner Schedule
+	From  sim.Time
+	Until sim.Time
+}
+
+// Rate implements Schedule.
+func (s Switching) Rate(u int, t sim.Time) float64 {
+	if t >= s.From && t < s.Until {
+		return s.Inner.Rate(u, t)
+	}
+	return 1
+}
+
+// PerNode assigns each node an individually fixed rate; missing entries run
+// at rate 1.
+type PerNode struct {
+	Rates map[int]float64
+}
+
+// Rate implements Schedule.
+func (p PerNode) Rate(u int, _ sim.Time) float64 {
+	if r, ok := p.Rates[u]; ok {
+		return r
+	}
+	return 1
+}

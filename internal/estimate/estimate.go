@@ -1,0 +1,131 @@
+// Package estimate implements the estimate layer of Section 3.1: for every
+// estimate edge {u,v}, node u can obtain an estimate L̃ᵛᵤ of v's logical
+// clock with a certified error bound ε (eq. 1).
+//
+// Two implementations are provided. Oracle realizes the abstract model
+// directly: it perturbs the true clock value by an adversarially chosen
+// error within ±ε, giving experiments exact control over the uncertainty.
+// Messaging realizes the layer the way a real system would (and the way
+// [12] describes): periodic beacons carry clock values, and the receiver
+// advances the last sample at the certified minimum rate; its ε is derived
+// from the protocol parameters and is verified at runtime by tests.
+package estimate
+
+import (
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Layer is the interface the synchronization algorithms consume.
+type Layer interface {
+	// Estimate returns u's current estimate of v's logical clock. ok is
+	// false when no valid estimate is available (no beacon yet, or the
+	// last sample is too old to be certified).
+	Estimate(u, v int) (value float64, ok bool)
+	// Eps returns the certified error bound for estimates on edge {u,v}:
+	// |L_v(t) − L̃ᵛᵤ(t)| ≤ Eps(u,v) whenever Estimate reports ok.
+	Eps(u, v int) float64
+}
+
+// ErrorPolicy chooses the oracle's estimate error within [−ε, +ε]. It plays
+// the role of the estimate-layer adversary.
+type ErrorPolicy interface {
+	Err(u, v int, trueU, trueV, eps float64) float64
+}
+
+// ZeroError returns perfect estimates (error 0).
+type ZeroError struct{}
+
+// Err implements ErrorPolicy.
+func (ZeroError) Err(_, _ int, _, _, _ float64) float64 { return 0 }
+
+// RandomError draws the error uniformly from [−ε, +ε].
+type RandomError struct{ RNG *sim.RNG }
+
+// Err implements ErrorPolicy.
+func (r RandomError) Err(_, _ int, _, _, eps float64) float64 {
+	return r.RNG.Uniform(-eps, eps)
+}
+
+// HoldBack always reports −ε (estimates lag behind the truth).
+type HoldBack struct{}
+
+// Err implements ErrorPolicy.
+func (HoldBack) Err(_, _ int, _, _, eps float64) float64 { return -eps }
+
+// PushForward always reports +ε.
+type PushForward struct{}
+
+// Err implements ErrorPolicy.
+func (PushForward) Err(_, _ int, _, _, eps float64) float64 { return eps }
+
+// AntiConvergence chooses the sign that makes the neighbor look closer to u
+// than it truly is: nodes ahead appear less ahead and nodes behind appear
+// less behind. This is the worst adversary for convergence speed, since it
+// weakens every trigger that would correct skew.
+type AntiConvergence struct{}
+
+// Err implements ErrorPolicy.
+func (AntiConvergence) Err(_, _ int, trueU, trueV, eps float64) float64 {
+	if trueV > trueU {
+		return -eps
+	}
+	return eps
+}
+
+// Amplify chooses the sign that makes the neighbor look farther from u than
+// it truly is, over-triggering corrections (stress for stability).
+type Amplify struct{}
+
+// Err implements ErrorPolicy.
+func (Amplify) Err(_, _ int, trueU, trueV, eps float64) float64 {
+	if trueV > trueU {
+		return eps
+	}
+	return -eps
+}
+
+// Oracle is the abstract-model estimate layer.
+type Oracle struct {
+	dyn    *topo.Dynamic
+	clock  func(int) float64
+	policy ErrorPolicy
+}
+
+// NewOracle builds an oracle layer. clock must return the current true
+// logical clock of a node; policy may be nil for zero error.
+func NewOracle(dyn *topo.Dynamic, clock func(int) float64, policy ErrorPolicy) *Oracle {
+	if policy == nil {
+		policy = ZeroError{}
+	}
+	return &Oracle{dyn: dyn, clock: clock, policy: policy}
+}
+
+// SetPolicy swaps the error adversary mid-run.
+func (o *Oracle) SetPolicy(p ErrorPolicy) { o.policy = p }
+
+// Estimate implements Layer.
+func (o *Oracle) Estimate(u, v int) (float64, bool) {
+	if !o.dyn.Sees(u, v) {
+		return 0, false
+	}
+	eps := o.Eps(u, v)
+	trueU, trueV := o.clock(u), o.clock(v)
+	err := o.policy.Err(u, v, trueU, trueV, eps)
+	if err > eps {
+		err = eps
+	}
+	if err < -eps {
+		err = -eps
+	}
+	return trueV + err, true
+}
+
+// Eps implements Layer.
+func (o *Oracle) Eps(u, v int) float64 {
+	p, ok := o.dyn.Params(u, v)
+	if !ok {
+		return 0
+	}
+	return p.Eps
+}

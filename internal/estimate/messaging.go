@@ -1,0 +1,154 @@
+package estimate
+
+import (
+	"math"
+
+	"repro/internal/topo"
+	"repro/internal/transport"
+)
+
+// MessagingConfig carries the protocol parameters the certified error bound
+// depends on.
+type MessagingConfig struct {
+	// Rho is the hardware clock drift bound ρ.
+	Rho float64
+	// Mu is the logical rate boost µ (logical rates lie in
+	// [1−ρ, (1+ρ)(1+µ)]).
+	Mu float64
+	// BeaconInterval is the real-time period between beacons per node.
+	BeaconInterval float64
+	// TickSlop is the extra error allowed for discrete integration (one
+	// tick of the fastest logical rate); fold dt·(1+ρ)(1+µ) in here.
+	TickSlop float64
+	// Centered shifts estimates up by half the one-sided error bound so the
+	// certified error becomes symmetric and half as large.
+	Centered bool
+}
+
+// sample is the last beacon received on a directed edge.
+type sample struct {
+	lSent      float64
+	hwAtRecv   float64
+	minTransit float64
+	valid      bool
+}
+
+// Messaging is the protocol-based estimate layer. The receiver of a beacon
+// stores (L_sent, H_recv, certified minimum transit) and, when queried,
+// advances the sample at the certified minimum logical rate:
+//
+//	L̃ᵛᵤ = L_sent + (1−ρ)·minTransit + (1−ρ)/(1+ρ)·(H_u(now) − H_u(recv))
+//
+// which is a guaranteed lower bound on L_v (the paper's η-relation, §3.1).
+type Messaging struct {
+	dyn *topo.Dynamic
+	cfg MessagingConfig
+	hw  func(int) float64
+	// samples[u] maps peer → latest sample.
+	samples []map[int]*sample
+	// Misses counts estimate queries that found no certified sample.
+	Misses uint64
+}
+
+// NewMessaging creates the layer for n nodes. hw returns a node's current
+// hardware clock.
+func NewMessaging(n int, dyn *topo.Dynamic, hw func(int) float64, cfg MessagingConfig) *Messaging {
+	s := make([]map[int]*sample, n)
+	for i := range s {
+		s[i] = make(map[int]*sample)
+	}
+	return &Messaging{dyn: dyn, cfg: cfg, hw: hw, samples: s}
+}
+
+// RecordBeacon ingests a delivered beacon; the runner calls this for every
+// beacon delivery.
+func (m *Messaging) RecordBeacon(to, from int, b transport.Beacon, d transport.Delivery) {
+	sm, ok := m.samples[to][from]
+	if !ok {
+		sm = &sample{}
+		m.samples[to][from] = sm
+	}
+	sm.lSent = b.L
+	sm.hwAtRecv = m.hw(to)
+	sm.minTransit = d.MinTransit
+	sm.valid = true
+}
+
+// Invalidate drops the sample for a directed edge (called on edge loss, so a
+// stale pre-outage sample is never reused after a reappearance).
+func (m *Messaging) Invalidate(u, v int) {
+	if sm, ok := m.samples[u][v]; ok {
+		sm.valid = false
+	}
+}
+
+// maxSampleAgeHW returns the maximum hardware-clock age a certified sample
+// may have: one beacon interval plus delay jitter, at the fastest hardware
+// rate, plus slop.
+func (m *Messaging) maxSampleAgeHW(p topo.LinkParams) float64 {
+	real := m.cfg.BeaconInterval + p.Uncertainty + m.cfg.TickSlop
+	return real * (1 + m.cfg.Rho)
+}
+
+// Estimate implements Layer.
+func (m *Messaging) Estimate(u, v int) (float64, bool) {
+	if !m.dyn.Sees(u, v) {
+		return 0, false
+	}
+	sm, ok := m.samples[u][v]
+	if !ok || !sm.valid {
+		m.Misses++
+		return 0, false
+	}
+	p, ok := m.dyn.Params(u, v)
+	if !ok {
+		return 0, false
+	}
+	rho := m.cfg.Rho
+	ageHW := m.hw(u) - sm.hwAtRecv
+	if ageHW < 0 || ageHW > m.maxSampleAgeHW(p) {
+		m.Misses++
+		return 0, false
+	}
+	// The transit credit covers only fully elapsed integration ticks
+	// (clocks advance in steps); TickSlop compensates.
+	credit := sm.minTransit - m.cfg.TickSlop
+	if credit < 0 {
+		credit = 0
+	}
+	est := sm.lSent + (1-rho)*credit + (1-rho)/(1+rho)*ageHW
+	if m.cfg.Centered {
+		est += m.oneSidedBound(p) / 2
+	}
+	return est, true
+}
+
+// oneSidedBound is the worst-case L_v − L̃ᵛᵤ for an uncentered estimate:
+// actual transit up to Delay at the fastest logical rate versus credit for
+// only (1−ρ)·(Delay−Uncertainty), plus the staleness window during which v
+// may run at (1+ρ)(1+µ) while the estimate advances at (1−ρ)²/(1+ρ).
+func (m *Messaging) oneSidedBound(p topo.LinkParams) float64 {
+	rho, mu := m.cfg.Rho, m.cfg.Mu
+	fast := (1 + rho) * (1 + mu)
+	slowAdvance := (1 - rho) * (1 - rho) / (1 + rho)
+	minCredit := p.Delay - p.Uncertainty - m.cfg.TickSlop
+	if minCredit < 0 {
+		minCredit = 0
+	}
+	transitErr := fast*p.Delay - (1-rho)*minCredit
+	staleWindow := m.cfg.BeaconInterval + p.Uncertainty + m.cfg.TickSlop
+	return transitErr + (fast-slowAdvance)*staleWindow
+}
+
+// Eps implements Layer.
+func (m *Messaging) Eps(u, v int) float64 {
+	p, ok := m.dyn.Params(u, v)
+	if !ok {
+		return math.Inf(1)
+	}
+	b := m.oneSidedBound(p)
+	if m.cfg.Centered {
+		return b / 2
+	}
+	return b
+}

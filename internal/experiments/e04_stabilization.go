@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"repro/internal/metrics"
+
+	gradsync "repro"
+)
+
+// E04Stabilization reproduces the stabilization-time claim (Theorem 5.25):
+// after a path (here: a single new edge closing an Θ(D) skew gap) appears,
+// AOPT re-establishes the gradient bound on it within O(Ĝ/µ) = O(D) time.
+//
+// Workload: the merge scenario at several sizes. Reported per size: the
+// offset entering the network, the gradient threshold for the new edge, the
+// measured stabilization time, the universal lower bound
+// (offset−threshold)/(β−α) that no algorithm respecting the logical clock
+// rate envelope [α, β] = [1−ρ, (1+ρ)(1+µ)] can beat, and their ratio. The
+// shape claim is linear growth with D at a constant factor above the
+// envelope limit.
+func E04Stabilization(spec Spec) *Result {
+	r := newResult("E04", "Stabilization time of new edges is Θ(D) (Theorem 5.25)")
+	ns := sizes(spec, []int{8, 16}, []int{8, 16, 32, 48})
+	r.Table = metrics.NewTable("time to re-establish the gradient bound on a merge edge (AOPT)",
+		"n", "offset", "threshold", "tStab", "tMin=(off−thr)/(β−α)", "tStab/tMin", "tStab/n")
+
+	const (
+		rho = 0.1 / 60
+		mu  = 0.1
+	)
+	rateGap := (1+rho)*(1+mu) - (1 - rho) // β−α
+	var xs, ys []float64
+	for _, n := range ns {
+		offset := 1.0 * float64(n) // well above the one-hop gradient threshold
+		out, err := runMerge(n, offset, gradsync.AOPT(), spec.Seed+int64(n), offset/0.04+80)
+		if err != nil {
+			r.failf("n=%d: %v", n, err)
+			continue
+		}
+		threshold := out.net.GradientBoundHops(1)
+		tStab := out.stabilizedAt(threshold, 20)
+		tMin := (offset - threshold) / rateGap
+		if tMin < 0 {
+			tMin = 0
+		}
+		r.Table.AddRow(n, offset, threshold, tStab, tMin, tStab/maxf(tMin, 1e-9), tStab/float64(n))
+		r.assert(tStab >= 0, "n=%d: bridge never stabilized below %.3f", n, threshold)
+		r.assert(tStab >= tMin-1,
+			"n=%d: stabilized in %.1f, below the envelope lower bound %.1f (impossible unless rates were violated)",
+			n, tStab, tMin)
+		xs = append(xs, float64(n))
+		ys = append(ys, tStab)
+	}
+	if len(xs) >= 2 {
+		corr := metrics.CorrCoef(xs, ys)
+		r.assert(corr > 0.9, "stabilization time not linear in D: corr=%.3f", corr)
+		slope, _ := metrics.LinearFit(xs, ys)
+		r.Notef("linear fit: tStab ≈ %.2f·n (corr %.3f); paper: Θ(D) with the global drain rate µ(1−ρ)−2ρ", slope, corr)
+	}
+	return r
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"math"
+
+	gradsync "repro"
+	"repro/internal/analysis"
+	"repro/internal/metrics"
+)
+
+// E06MuSweep reproduces the parameter discussion of §5.5: the base of the
+// gradient logarithm is σ = (1−ρ)µ/(2ρ), so for fixed ρ a larger µ yields a
+// larger base and therefore a smaller stable gradient bound, at the price
+// of a larger maximum clock rate (1+ρ)(1+µ). The global drain rate
+// µ(1−ρ)−2ρ (Theorem 5.6 II) also scales with µ; we measure it directly
+// from a corrupted start.
+func E06MuSweep(spec Spec) *Result {
+	r := newResult("E06", "Trade-off in µ: base σ, gradient bound and drain rate (§5.5, Thm 5.6 II)")
+	mus := []float64{0.02, 0.05, 0.1}
+	if spec.Quick {
+		mus = []float64{0.05, 0.1}
+	}
+	const rho = 0.1 / 60
+	n := 16
+	r.Table = metrics.NewTable("µ sweep at fixed ρ (line n=16)",
+		"µ", "σ", "levels@Ĝ/κ=1e4", "bound(1hop)", "theoryDrain", "measDrain", "drainRatio")
+
+	prevLevels := math.Inf(1)
+	for _, mu := range mus {
+		net := gradsync.MustNew(gradsync.Config{
+			Topology:      gradsync.LineTopology(n),
+			Mu:            mu,
+			Rho:           rho,
+			InitialClocks: ramp(n, 0.4),
+			Seed:          spec.Seed,
+		})
+		global := &metrics.Series{}
+		net.Every(0.5, func(t float64) { global.Add(t, net.GlobalSkew()) })
+		// Measure the drain slope over the first part of the drain, while
+		// the skew is far above D+ι.
+		spread0 := 0.4 * float64(n-1)
+		theory := analysis.GlobalDecayRate(mu, rho)
+		window := 0.5 * spread0 / theory
+		net.RunFor(window + 10)
+		meas := -global.SlopeBetween(1, window)
+		bound := net.GradientBoundHops(1)
+		// The asymptotic effect of σ on the bound: the number of levels
+		// 2+⌈log_σ(x)⌉ for a large fixed skew-to-weight ratio x = 10⁴.
+		levels := 2 + math.Ceil(analysis.LogBase(analysis.Sigma(mu, rho), 4e4))
+		r.Table.AddRow(mu, analysis.Sigma(mu, rho), levels, bound, theory, meas, meas/theory)
+
+		r.assert(meas >= 0.8*theory,
+			"µ=%v: measured drain %.4f below 0.8·theory %.4f", mu, meas, theory)
+		r.assert(meas <= 1.6*theory,
+			"µ=%v: measured drain %.4f above 1.6·theory %.4f (rate envelope?)", mu, meas, theory)
+		r.assert(levels <= prevLevels,
+			"µ=%v: level count %v not non-increasing in µ (σ effect)", mu, levels)
+		prevLevels = levels
+	}
+	r.Notef("larger µ → larger σ → smaller log_σ term; drain rate tracks µ(1−ρ)−2ρ")
+	return r
+}

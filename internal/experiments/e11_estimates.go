@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	gradsync "repro"
+	"repro/internal/metrics"
+)
+
+// E11EstimateLayer validates the estimate layer realization (eq. 1): the
+// message-protocol implementation must keep every estimate within its
+// certified uncertainty ε of the true remote clock, and ε must scale with
+// the beacon interval (staleness dominates the error budget).
+func E11EstimateLayer(spec Spec) *Result {
+	r := newResult("E11", "Estimate layer: protocol errors stay within the certified ε (eq. 1, §3.1)")
+	intervals := []float64{0.1, 0.25, 0.5}
+	if spec.Quick {
+		intervals = []float64{0.1, 0.5}
+	}
+	r.Table = metrics.NewTable("messaging estimate layer, ring n=6, sinusoid drift",
+		"beaconInterval", "certified ε", "maxErr", "meanErr", "maxErr/ε", "lowerBoundOK")
+
+	prevEps := 0.0
+	for _, interval := range intervals {
+		net := gradsync.MustNew(gradsync.Config{
+			Topology:       gradsync.RingTopology(6),
+			Estimates:      MessagingUncentered(),
+			Drift:          gradsync.SinusoidDrift(20),
+			BeaconInterval: interval,
+			Seed:           spec.Seed,
+		})
+		rt := net.Runtime()
+		eps := net.EpsEffective()
+		maxErr, sumErr, count := 0.0, 0.0, 0
+		lowerOK := true
+		net.Every(0.5, func(t float64) {
+			if t < 5 {
+				return
+			}
+			for u := 0; u < net.N(); u++ {
+				for _, v := range []int{(u + 1) % net.N(), (u + net.N() - 1) % net.N()} {
+					est, ok := rt.Est.Estimate(u, v)
+					if !ok {
+						continue
+					}
+					err := net.Logical(v) - est
+					if err < -1e-9 {
+						lowerOK = false // uncentered estimates must lower-bound
+					}
+					if err < 0 {
+						err = -err
+					}
+					if err > maxErr {
+						maxErr = err
+					}
+					sumErr += err
+					count++
+				}
+			}
+		})
+		net.RunFor(120)
+		if count == 0 {
+			r.failf("interval %v: no estimates sampled", interval)
+			continue
+		}
+		meanErr := sumErr / float64(count)
+		r.Table.AddRow(interval, eps, maxErr, meanErr, maxErr/eps, lowerOK)
+		r.assert(maxErr <= eps, "interval %v: error %.4f exceeded certified ε %.4f", interval, maxErr, eps)
+		r.assert(lowerOK, "interval %v: estimate exceeded the true clock (lower-bound property)", interval)
+		r.assert(eps > prevEps, "certified ε %.4f did not grow with the beacon interval", eps)
+		prevEps = eps
+	}
+	r.Notef("ε is a worst-case certificate; mean errors sit well below it")
+	return r
+}
+
+// MessagingUncentered selects the messaging layer without centering, so the
+// lower-bound property is directly observable.
+func MessagingUncentered() gradsync.Estimates { return gradsync.MessagingEstimates(false) }

@@ -1,0 +1,127 @@
+// Package experiments contains the reproduction harness: one runner per
+// claim of the paper (the "tables and figures" of this theory paper are its
+// theorems; see DESIGN.md for the experiment index E1–E12). Every runner
+// returns a table of paper-bound vs measured rows plus a pass/fail shape
+// verdict, and is invoked both from the benchmarks in bench_test.go and
+// from cmd/experiments.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Spec sizes an experiment run.
+type Spec struct {
+	// Quick selects bench-sized runs (seconds); full runs otherwise.
+	Quick bool
+	// Seed feeds all randomness.
+	Seed int64
+}
+
+// Result is the outcome of one experiment.
+type Result struct {
+	ID    string
+	Claim string
+	Table *metrics.Table
+	// Table2 holds a second result table for experiments with two parts.
+	Table2 *metrics.Table
+	Notes  []string
+	Pass   bool
+	// Failures lists shape assertions that did not hold.
+	Failures []string
+}
+
+// Notef appends a formatted note.
+func (r *Result) Notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// failf records a failed shape assertion.
+func (r *Result) failf(format string, args ...any) {
+	r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
+	r.Pass = false
+}
+
+// assert records a failure unless cond holds.
+func (r *Result) assert(cond bool, format string, args ...any) {
+	if !cond {
+		r.failf(format, args...)
+	}
+}
+
+func newResult(id, claim string) *Result {
+	return &Result{ID: id, Claim: claim, Pass: true}
+}
+
+// String renders the full report for one experiment.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "--- %s: %s ---\n", r.ID, r.Claim)
+	if r.Table != nil {
+		b.WriteString(r.Table.String())
+	}
+	if r.Table2 != nil {
+		b.WriteString(r.Table2.String())
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	if r.Pass {
+		b.WriteString("shape: PASS\n")
+	} else {
+		for _, f := range r.Failures {
+			fmt.Fprintf(&b, "shape FAIL: %s\n", f)
+		}
+	}
+	return b.String()
+}
+
+// Runner is an experiment entry point.
+type Runner func(Spec) *Result
+
+// Entry names a runner so callers can select experiments without running
+// them first.
+type Entry struct {
+	ID  string
+	Run Runner
+}
+
+// All returns the full experiment suite in order.
+func All() []Entry {
+	return []Entry{
+		{"E01", E01GlobalSkew},
+		{"E02", E02GradientSkew},
+		{"E03", E03LocalSkewVsD},
+		{"E04", E04Stabilization},
+		{"E05", E05LowerBound},
+		{"E06", E06MuSweep},
+		{"E07", E07Churn},
+		{"E08", E08SelfStab},
+		{"E09", E09Weighted},
+		{"E10", E10DynamicEstimates},
+		{"E11", E11EstimateLayer},
+		{"E12", E12Ablations},
+		{"E13", E13InsertionStrategies},
+	}
+}
+
+// sizes picks node counts for scaling experiments.
+func sizes(s Spec, quick, full []int) []int {
+	if s.Quick {
+		return quick
+	}
+	return full
+}
+
+// ramp builds a linear initial clock assignment with the given per-hop
+// increment (node 0 lowest).
+func ramp(n int, perHop float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i) * perHop
+	}
+	return out
+}

@@ -1,0 +1,223 @@
+// Package runner wires the simulation substrate together — engine, drifting
+// hardware clocks, dynamic graph, transport and estimate layer — and hosts a
+// clock synchronization algorithm on top. It owns the integration tick: per
+// tick it advances hardware clocks by the adversary-chosen rates and hands
+// the increments to the algorithm, which advances its logical clocks.
+package runner
+
+import (
+	"fmt"
+
+	"repro/internal/drift"
+	"repro/internal/estimate"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/transport"
+)
+
+// Algorithm is a clock synchronization algorithm (the paper's AOPT or a
+// baseline) hosted by the runtime.
+type Algorithm interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Init is called once, before any events, with the fully wired runtime.
+	Init(rt *Runtime)
+	// OnEdgeUp and OnEdgeDown deliver per-endpoint visibility transitions
+	// (self discovered / lost the estimate edge to peer).
+	OnEdgeUp(self, peer int, t sim.Time)
+	OnEdgeDown(self, peer int, t sim.Time)
+	// OnBeacon and OnControl deliver transport traffic addressed to `to`.
+	OnBeacon(to, from int, b transport.Beacon, d transport.Delivery)
+	OnControl(to, from int, payload any, d transport.Delivery)
+	// Step advances logical state by one tick; dH[u] is the hardware clock
+	// increment of node u during the tick.
+	Step(t sim.Time, dH []float64)
+	// Logical returns node u's current logical clock L_u.
+	Logical(u int) float64
+	// MaxEstimate returns node u's max estimate M_u (algorithms without one
+	// return Logical(u)).
+	MaxEstimate(u int) float64
+}
+
+// Config assembles a runtime.
+type Config struct {
+	// N is the number of nodes.
+	N int
+	// Tick is the integration step dt.
+	Tick float64
+	// BeaconInterval is the per-node beacon period (staggered across nodes).
+	BeaconInterval float64
+	// Drift is the hardware clock adversary.
+	Drift drift.Schedule
+	// Delay is the message delay adversary.
+	Delay transport.DelayPolicy
+	// Seed feeds all randomness.
+	Seed int64
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.N <= 0:
+		return fmt.Errorf("runner: N must be positive, got %d", c.N)
+	case c.Tick <= 0:
+		return fmt.Errorf("runner: Tick must be positive, got %v", c.Tick)
+	case c.BeaconInterval <= 0:
+		return fmt.Errorf("runner: BeaconInterval must be positive, got %v", c.BeaconInterval)
+	}
+	return nil
+}
+
+// Runtime is the wired simulation world an algorithm runs in.
+type Runtime struct {
+	Engine *sim.Engine
+	Dyn    *topo.Dynamic
+	Net    *transport.Network
+	RNG    *sim.RNG
+	// Est is the estimate layer; set by SetEstimator before Start.
+	Est estimate.Layer
+	// HW holds the hardware clocks, integrated by the runtime.
+	HW []float64
+
+	cfg       Config
+	driftSrc  drift.Schedule
+	algo      Algorithm
+	messaging *estimate.Messaging // non-nil when the estimate layer is message-based
+	started   bool
+	scratch   []int
+	dH        []float64
+}
+
+// New builds a runtime. The estimate layer and algorithm are attached
+// afterwards (SetEstimator / Attach) because they need the runtime itself.
+func New(cfg Config) (*Runtime, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Drift == nil {
+		cfg.Drift = drift.Perfect()
+	}
+	engine := sim.NewEngine()
+	rng := sim.NewRNG(cfg.Seed)
+	dyn := topo.NewDynamic(cfg.N, engine, rng.Split())
+	net := transport.NewNetwork(engine, dyn, rng.Split(), cfg.Delay)
+	rt := &Runtime{
+		Engine:   engine,
+		Dyn:      dyn,
+		Net:      net,
+		RNG:      rng,
+		HW:       make([]float64, cfg.N),
+		cfg:      cfg,
+		driftSrc: cfg.Drift,
+	}
+	return rt, nil
+}
+
+// N returns the node count.
+func (rt *Runtime) N() int { return rt.cfg.N }
+
+// Tick returns the integration step.
+func (rt *Runtime) Tick() float64 { return rt.cfg.Tick }
+
+// BeaconInterval returns the beacon period.
+func (rt *Runtime) BeaconInterval() float64 { return rt.cfg.BeaconInterval }
+
+// Hardware returns node u's current hardware clock (for estimate layers).
+func (rt *Runtime) Hardware(u int) float64 { return rt.HW[u] }
+
+// SetEstimator installs the estimate layer. When the layer is the messaging
+// implementation, the runtime feeds it beacons and invalidations.
+func (rt *Runtime) SetEstimator(l estimate.Layer) {
+	rt.Est = l
+	if m, ok := l.(*estimate.Messaging); ok {
+		rt.messaging = m
+	} else {
+		rt.messaging = nil
+	}
+}
+
+// Attach installs the algorithm and wires all event routing.
+func (rt *Runtime) Attach(a Algorithm) {
+	rt.algo = a
+	rt.Dyn.SetListener(listener{rt})
+	rt.Net.SetHandler(handler{rt})
+	a.Init(rt)
+}
+
+// Start schedules the integration tick and beacon cadence; call after the
+// topology is installed and the algorithm attached, before Run.
+func (rt *Runtime) Start() error {
+	if rt.algo == nil {
+		return fmt.Errorf("runner: Start before Attach")
+	}
+	if rt.Est == nil {
+		return fmt.Errorf("runner: Start before SetEstimator")
+	}
+	if rt.started {
+		return fmt.Errorf("runner: Start called twice")
+	}
+	rt.started = true
+	rt.Engine.NewTicker(rt.cfg.Tick, rt.cfg.Tick, rt.step)
+	for u := 0; u < rt.cfg.N; u++ {
+		u := u
+		offset := rt.cfg.BeaconInterval * float64(u) / float64(rt.cfg.N)
+		rt.Engine.NewTicker(offset, rt.cfg.BeaconInterval, func(sim.Time, float64) {
+			rt.sendBeacons(u)
+		})
+	}
+	return nil
+}
+
+// Run advances the simulation to the given time.
+func (rt *Runtime) Run(until sim.Time) { rt.Engine.RunUntil(until) }
+
+// Algo returns the hosted algorithm.
+func (rt *Runtime) Algo() Algorithm { return rt.algo }
+
+func (rt *Runtime) step(t sim.Time, dt float64) {
+	if rt.dH == nil {
+		rt.dH = make([]float64, rt.cfg.N)
+	}
+	dH := rt.dH
+	for u := range dH {
+		rate := drift.Clamp(rt.driftSrc.Rate(u, t), 1) // ρ<1 always; schedules self-limit
+		dH[u] = rate * dt
+		rt.HW[u] += dH[u]
+	}
+	rt.algo.Step(t, dH)
+}
+
+// SetDrift swaps the drift adversary mid-run.
+func (rt *Runtime) SetDrift(s drift.Schedule) { rt.driftSrc = s }
+
+func (rt *Runtime) sendBeacons(u int) {
+	b := transport.Beacon{L: rt.algo.Logical(u), M: rt.algo.MaxEstimate(u)}
+	rt.scratch = rt.Net.BroadcastBeacon(u, b, rt.scratch)
+}
+
+// listener forwards topology transitions to the estimate layer and algorithm.
+type listener struct{ rt *Runtime }
+
+func (l listener) EdgeUp(self, peer int, t sim.Time) {
+	l.rt.algo.OnEdgeUp(self, peer, t)
+}
+
+func (l listener) EdgeDown(self, peer int, t sim.Time) {
+	if l.rt.messaging != nil {
+		l.rt.messaging.Invalidate(self, peer)
+	}
+	l.rt.algo.OnEdgeDown(self, peer, t)
+}
+
+// handler forwards transport deliveries.
+type handler struct{ rt *Runtime }
+
+func (h handler) OnBeacon(to, from int, b transport.Beacon, d transport.Delivery) {
+	if h.rt.messaging != nil {
+		h.rt.messaging.RecordBeacon(to, from, b, d)
+	}
+	h.rt.algo.OnBeacon(to, from, b, d)
+}
+
+func (h handler) OnControl(to, from int, payload any, d transport.Delivery) {
+	h.rt.algo.OnControl(to, from, payload, d)
+}

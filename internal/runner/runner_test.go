@@ -1,0 +1,226 @@
+package runner
+
+import (
+	"testing"
+
+	"repro/internal/drift"
+	"repro/internal/estimate"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/transport"
+)
+
+// fakeAlgo records every callback it receives and integrates a plain clock.
+type fakeAlgo struct {
+	rt       *Runtime
+	l        []float64
+	ups      [][2]int
+	downs    [][2]int
+	beacons  int
+	controls int
+	steps    int
+}
+
+func (f *fakeAlgo) Name() string { return "fake" }
+
+func (f *fakeAlgo) Init(rt *Runtime) {
+	f.rt = rt
+	f.l = make([]float64, rt.N())
+}
+
+func (f *fakeAlgo) OnEdgeUp(self, peer int, _ sim.Time) { f.ups = append(f.ups, [2]int{self, peer}) }
+func (f *fakeAlgo) OnEdgeDown(self, peer int, _ sim.Time) {
+	f.downs = append(f.downs, [2]int{self, peer})
+}
+
+func (f *fakeAlgo) OnBeacon(_, _ int, _ transport.Beacon, _ transport.Delivery) { f.beacons++ }
+
+func (f *fakeAlgo) OnControl(_, _ int, _ any, _ transport.Delivery) { f.controls++ }
+
+func (f *fakeAlgo) Step(_ sim.Time, dH []float64) {
+	f.steps++
+	for u := range f.l {
+		f.l[u] += dH[u]
+	}
+}
+
+func (f *fakeAlgo) Logical(u int) float64     { return f.l[u] }
+func (f *fakeAlgo) MaxEstimate(u int) float64 { return f.l[u] }
+
+func newTestRuntime(t *testing.T, n int) (*Runtime, *fakeAlgo) {
+	t.Helper()
+	rt, err := New(Config{
+		N: n, Tick: 0.1, BeaconInterval: 0.5,
+		Drift: drift.TwoGroup{Rho: 0.01, Split: n / 2},
+		Seed:  5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range topo.Line(n) {
+		if err := rt.Dyn.DeclareLink(e.U, e.V, topo.LinkParams{Eps: 0.2, Tau: 0.1, Delay: 0.1, Uncertainty: 0.05}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	algo := &fakeAlgo{}
+	rt.SetEstimator(estimate.NewOracle(rt.Dyn, func(u int) float64 { return algo.Logical(u) }, nil))
+	rt.Attach(algo)
+	for _, e := range topo.Line(n) {
+		if err := rt.Dyn.AppearInstant(e.U, e.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rt, algo
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero nodes", Config{N: 0, Tick: 0.1, BeaconInterval: 1}},
+		{"zero tick", Config{N: 2, Tick: 0, BeaconInterval: 1}},
+		{"zero beacons", Config{N: 2, Tick: 0.1, BeaconInterval: 0}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.cfg); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestStartRequiresWiring(t *testing.T) {
+	rt, err := New(Config{N: 2, Tick: 0.1, BeaconInterval: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err == nil {
+		t.Error("Start without Attach accepted")
+	}
+	algo := &fakeAlgo{}
+	rt.Attach(algo)
+	if err := rt.Start(); err == nil {
+		t.Error("Start without estimator accepted")
+	}
+	rt.SetEstimator(estimate.NewOracle(rt.Dyn, func(int) float64 { return 0 }, nil))
+	if err := rt.Start(); err != nil {
+		t.Errorf("Start failed on wired runtime: %v", err)
+	}
+	if err := rt.Start(); err == nil {
+		t.Error("double Start accepted")
+	}
+}
+
+func TestHardwareClocksFollowDrift(t *testing.T) {
+	rt, _ := newTestRuntime(t, 4)
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	rt.Run(100)
+	// Two-group: nodes 0,1 fast (1.01), nodes 2,3 slow (0.99).
+	if rt.Hardware(0) <= rt.Hardware(3) {
+		t.Errorf("fast node hardware %v not ahead of slow %v", rt.Hardware(0), rt.Hardware(3))
+	}
+	wantFast, wantSlow := 100*1.01, 100*0.99
+	if diff := rt.Hardware(0) - wantFast; diff > 0.2 || diff < -0.2 {
+		t.Errorf("fast hardware = %v, want ≈ %v", rt.Hardware(0), wantFast)
+	}
+	if diff := rt.Hardware(3) - wantSlow; diff > 0.2 || diff < -0.2 {
+		t.Errorf("slow hardware = %v, want ≈ %v", rt.Hardware(3), wantSlow)
+	}
+}
+
+func TestStepsAndBeaconsFlow(t *testing.T) {
+	rt, algo := newTestRuntime(t, 4)
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	rt.Run(10)
+	if algo.steps < 95 {
+		t.Errorf("steps = %d, want ≈ 100 (tick 0.1 over 10 units)", algo.steps)
+	}
+	// Each node broadcasts every 0.5 to up to 2 neighbors: ≈ 10/0.5·6 = 120
+	// deliveries over the 3-edge line (6 directed edges).
+	if algo.beacons < 80 {
+		t.Errorf("beacons = %d, want ≈ 120", algo.beacons)
+	}
+}
+
+func TestEdgeEventsForwarded(t *testing.T) {
+	rt, algo := newTestRuntime(t, 4)
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if len(algo.ups) != 6 { // 3 undirected edges × 2 endpoints
+		t.Fatalf("ups = %d, want 6", len(algo.ups))
+	}
+	if err := rt.Dyn.Disappear(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	rt.Run(1)
+	if len(algo.downs) != 2 {
+		t.Fatalf("downs = %d, want 2", len(algo.downs))
+	}
+}
+
+func TestControlMessagesForwarded(t *testing.T) {
+	rt, algo := newTestRuntime(t, 2)
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	rt.Net.SendControl(0, 1, "hello")
+	rt.Run(1)
+	if algo.controls != 1 {
+		t.Fatalf("controls = %d, want 1", algo.controls)
+	}
+}
+
+func TestSetDriftMidRun(t *testing.T) {
+	rt, _ := newTestRuntime(t, 2)
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	rt.Run(10)
+	h0 := rt.Hardware(0)
+	rt.SetDrift(drift.Constant{R: 0.99})
+	rt.Run(20)
+	gained := rt.Hardware(0) - h0
+	if gained > 10*0.99+0.2 {
+		t.Errorf("hardware gained %v after slowdown, want ≈ 9.9", gained)
+	}
+}
+
+func TestMessagingLayerReceivesInvalidations(t *testing.T) {
+	rt, err := New(Config{N: 2, Tick: 0.1, BeaconInterval: 0.5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Dyn.DeclareLink(0, 1, topo.LinkParams{Eps: 0.2, Tau: 0.1, Delay: 0.1, Uncertainty: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	layer := estimate.NewMessaging(2, rt.Dyn, rt.Hardware, estimate.MessagingConfig{
+		Rho: 0.01, Mu: 0.1, BeaconInterval: 0.5, TickSlop: 0.2,
+	})
+	rt.SetEstimator(layer)
+	algo := &fakeAlgo{}
+	rt.Attach(algo)
+	if err := rt.Dyn.AppearInstant(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	rt.Run(3)
+	if _, ok := layer.Estimate(0, 1); !ok {
+		t.Fatal("no estimate after beaconing")
+	}
+	if err := rt.Dyn.Disappear(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	rt.Run(4)
+	if _, ok := layer.Estimate(0, 1); ok {
+		t.Fatal("estimate survived edge loss (invalidation not forwarded)")
+	}
+}

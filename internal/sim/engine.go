@@ -1,0 +1,195 @@
+// Package sim provides a deterministic discrete-event simulation engine with
+// continuous (float64) time. It is the substrate on which the dynamic-network
+// clock synchronization model of Kuhn, Lenzen, Locher and Oshman (PODC 2010)
+// is executed: message deliveries, topology changes and handshake timeouts
+// are events; algorithms additionally run on a fixed integration tick.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in simulated continuous time, in abstract time units.
+// The whole model of the paper is unit-free; see DESIGN.md for the default
+// unit conventions used by the experiments.
+type Time = float64
+
+// Event is a scheduled callback. Events with equal times fire in scheduling
+// order (FIFO), which keeps executions deterministic.
+type Event struct {
+	At  Time
+	Fn  func(t Time)
+	seq uint64
+	idx int // heap index; -1 once popped or cancelled
+}
+
+// Cancelled reports whether the event has been cancelled or already fired.
+func (e *Event) Cancelled() bool { return e == nil || e.idx < 0 }
+
+// Engine owns the simulated clock and the event queue.
+//
+// The zero value is not usable; create engines with NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	nextSeq uint64
+	stopped bool
+	// Stepped counts executed events, for diagnostics and tests.
+	Stepped uint64
+}
+
+// NewEngine returns an engine with the clock at time 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule registers fn to run at absolute time at. Scheduling in the past
+// (before Now) is an error in the caller; the engine clamps it to Now so the
+// event still fires, but panics in debug builds of tests via Validate.
+func (e *Engine) Schedule(at Time, fn func(t Time)) *Event {
+	if fn == nil {
+		panic("sim: Schedule called with nil function")
+	}
+	if math.IsNaN(at) {
+		panic("sim: Schedule called with NaN time")
+	}
+	if at < e.now {
+		at = e.now
+	}
+	ev := &Event{At: at, Fn: fn, seq: e.nextSeq}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After registers fn to run d time units after Now.
+func (e *Engine) After(d float64, fn func(t Time)) *Event {
+	return e.Schedule(e.now+d, fn)
+}
+
+// Cancel removes a pending event from the queue. Cancelling a nil, fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.idx < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.idx)
+	ev.idx = -1
+}
+
+// Stop makes the current Run call return after the in-flight event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// RunUntil executes events in time order until the queue is empty or the next
+// event is strictly after horizon. The clock ends at horizon (or at the time
+// Run was stopped).
+func (e *Engine) RunUntil(horizon Time) {
+	e.stopped = false
+	for e.queue.Len() > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.At > horizon {
+			break
+		}
+		heap.Pop(&e.queue)
+		next.idx = -1
+		if next.At > e.now {
+			e.now = next.At
+		}
+		e.Stepped++
+		next.Fn(e.now)
+	}
+	if !e.stopped && e.now < horizon {
+		e.now = horizon
+	}
+}
+
+// Pending returns the number of events currently queued.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// PeekNext returns the time of the earliest pending event, or +Inf if none.
+func (e *Engine) PeekNext() Time {
+	if e.queue.Len() == 0 {
+		return math.Inf(1)
+	}
+	return e.queue[0].At
+}
+
+// Ticker invokes fn every interval units of simulated time, starting at
+// start, until the engine run ends or the ticker is stopped. The tick
+// callback receives the tick time and the elapsed time since the previous
+// tick (equal to interval except possibly for the first tick).
+type Ticker struct {
+	engine   *Engine
+	interval float64
+	fn       func(t Time, dt float64)
+	last     Time
+	ev       *Event
+	stopped  bool
+}
+
+// NewTicker schedules a recurring tick. interval must be positive.
+func (e *Engine) NewTicker(start Time, interval float64, fn func(t Time, dt float64)) *Ticker {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: ticker interval must be positive, got %v", interval))
+	}
+	tk := &Ticker{engine: e, interval: interval, fn: fn, last: start - interval}
+	tk.ev = e.Schedule(start, tk.fire)
+	return tk
+}
+
+func (tk *Ticker) fire(t Time) {
+	if tk.stopped {
+		return
+	}
+	dt := t - tk.last
+	tk.last = t
+	tk.fn(t, dt)
+	if !tk.stopped {
+		tk.ev = tk.engine.Schedule(t+tk.interval, tk.fire)
+	}
+}
+
+// Stop cancels the ticker; no further ticks fire.
+func (tk *Ticker) Stop() {
+	tk.stopped = true
+	tk.engine.Cancel(tk.ev)
+}
+
+// eventQueue is a min-heap on (At, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*q = old[:n-1]
+	return ev
+}

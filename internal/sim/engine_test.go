@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, at := range []Time{5, 1, 3, 2, 4} {
+		at := at
+		e.Schedule(at, func(now Time) {
+			got = append(got, now)
+		})
+	}
+	e.RunUntil(10)
+	want := []Time{1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+	if e.Now() != 10 {
+		t.Errorf("Now() = %v after RunUntil(10), want 10", e.Now())
+	}
+}
+
+func TestEngineEqualTimesFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 20; i++ {
+		i := i
+		e.Schedule(1.0, func(Time) { order = append(order, i) })
+	}
+	e.RunUntil(2)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("events at equal times fired out of order: %v", order)
+		}
+	}
+}
+
+func TestEngineHorizonExcludesLaterEvents(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(1, func(Time) { fired++ })
+	e.Schedule(3, func(Time) { fired++ })
+	e.RunUntil(2)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.RunUntil(4)
+	if fired != 2 {
+		t.Fatalf("fired = %d after second run, want 2", fired)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(1, func(Time) { fired = true })
+	e.Cancel(ev)
+	if !ev.Cancelled() {
+		t.Error("event not marked cancelled")
+	}
+	e.RunUntil(2)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	// Cancelling again (and cancelling nil) must be safe.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestEngineScheduleInsidePastClampsToNow(t *testing.T) {
+	e := NewEngine()
+	var firedAt Time = -1
+	e.Schedule(5, func(now Time) {
+		e.Schedule(1, func(now2 Time) { firedAt = now2 })
+	})
+	e.RunUntil(10)
+	if firedAt != 5 {
+		t.Fatalf("past-scheduled event fired at %v, want clamp to 5", firedAt)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Schedule(1, func(Time) { count++; e.Stop() })
+	e.Schedule(2, func(Time) { count++ })
+	e.RunUntil(10)
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 (engine stopped)", count)
+	}
+	// A later run resumes.
+	e.RunUntil(10)
+	if count != 2 {
+		t.Fatalf("count = %d after resume, want 2", count)
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var rec func(Time)
+	rec = func(now Time) {
+		depth++
+		if depth < 5 {
+			e.After(1, rec)
+		}
+	}
+	e.After(1, rec)
+	e.RunUntil(100)
+	if depth != 5 {
+		t.Fatalf("depth = %d, want 5", depth)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now = %v, want 100", e.Now())
+	}
+}
+
+func TestTickerRegularIntervals(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	var dts []float64
+	e.NewTicker(0, 0.5, func(now Time, dt float64) {
+		times = append(times, now)
+		dts = append(dts, dt)
+	})
+	e.RunUntil(2.0)
+	want := []Time{0, 0.5, 1.0, 1.5, 2.0}
+	if len(times) != len(want) {
+		t.Fatalf("got %d ticks %v, want %d", len(times), times, len(want))
+	}
+	for i := 1; i < len(dts); i++ {
+		if math.Abs(dts[i]-0.5) > 1e-12 {
+			t.Errorf("tick %d dt = %v, want 0.5", i, dts[i])
+		}
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tk *Ticker
+	tk = e.NewTicker(0, 1, func(now Time, dt float64) {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	e.RunUntil(100)
+	if count != 3 {
+		t.Fatalf("ticks = %d, want 3", count)
+	}
+}
+
+func TestPeekNext(t *testing.T) {
+	e := NewEngine()
+	if !math.IsInf(e.PeekNext(), 1) {
+		t.Fatal("PeekNext on empty queue should be +Inf")
+	}
+	e.Schedule(7, func(Time) {})
+	e.Schedule(3, func(Time) {})
+	if e.PeekNext() != 3 {
+		t.Fatalf("PeekNext = %v, want 3", e.PeekNext())
+	}
+}
+
+// Property: for any set of event times, execution order is the sorted order.
+func TestEngineOrderingProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		times := make([]Time, len(raw))
+		for i, r := range raw {
+			times[i] = Time(r) / 16.0
+			at := times[i]
+			e.Schedule(at, func(now Time) { fired = append(fired, now) })
+		}
+		e.RunUntil(math.Inf(1))
+		sort.Float64s(times)
+		if len(fired) != len(times) {
+			return false
+		}
+		for i := range times {
+			if fired[i] != times[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c, d := NewRNG(42).Split(), NewRNG(42).Split()
+	for i := 0; i < 100; i++ {
+		if c.Float64() != d.Float64() {
+			t.Fatal("split children of same-seed RNGs diverged")
+		}
+	}
+}
+
+func TestRNGUniformBounds(t *testing.T) {
+	g := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := g.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform(2,5) = %v out of range", v)
+		}
+	}
+	// Swapped bounds are tolerated.
+	v := g.Uniform(5, 2)
+	if v < 2 || v >= 5 {
+		t.Fatalf("Uniform(5,2) = %v out of range", v)
+	}
+}

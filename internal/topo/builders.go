@@ -1,0 +1,189 @@
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Builder produces the initial edge list of a topology over n nodes.
+type Builder func(n int) []EdgeID
+
+// Line returns the path 0–1–…–(n−1).
+func Line(n int) []EdgeID {
+	edges := make([]EdgeID, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, EdgeID{U: i, V: i + 1})
+	}
+	return edges
+}
+
+// Ring returns the cycle over n nodes.
+func Ring(n int) []EdgeID {
+	edges := Line(n)
+	if n > 2 {
+		edges = append(edges, EdgeID{U: 0, V: n - 1})
+	}
+	return edges
+}
+
+// Star connects node 0 to every other node.
+func Star(n int) []EdgeID {
+	edges := make([]EdgeID, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, EdgeID{U: 0, V: i})
+	}
+	return edges
+}
+
+// Grid returns a w×h grid over n = w·h nodes, indexed row-major.
+func Grid(w, h int) []EdgeID {
+	var edges []EdgeID
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				edges = append(edges, MakeEdgeID(id(x, y), id(x+1, y)))
+			}
+			if y+1 < h {
+				edges = append(edges, MakeEdgeID(id(x, y), id(x, y+1)))
+			}
+		}
+	}
+	return edges
+}
+
+// Torus is a grid with wraparound links in both dimensions.
+func Torus(w, h int) []EdgeID {
+	edges := Grid(w, h)
+	id := func(x, y int) int { return y*w + x }
+	if w > 2 {
+		for y := 0; y < h; y++ {
+			edges = append(edges, MakeEdgeID(id(0, y), id(w-1, y)))
+		}
+	}
+	if h > 2 {
+		for x := 0; x < w; x++ {
+			edges = append(edges, MakeEdgeID(id(x, 0), id(x, h-1)))
+		}
+	}
+	return edges
+}
+
+// RandomConnected returns a random spanning tree plus extra random edges,
+// giving a connected graph with roughly n·(1+extra) edges.
+func RandomConnected(n int, extra float64, rng *sim.RNG) []EdgeID {
+	seen := make(map[EdgeID]bool)
+	var edges []EdgeID
+	add := func(a, b int) {
+		id := MakeEdgeID(a, b)
+		if a != b && !seen[id] {
+			seen[id] = true
+			edges = append(edges, id)
+		}
+	}
+	// Random spanning tree: attach each node (in random order) to a random
+	// earlier node.
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		add(perm[i], perm[rng.Intn(i)])
+	}
+	for i := 0; i < int(extra*float64(n)); i++ {
+		add(rng.Intn(n), rng.Intn(n))
+	}
+	return edges
+}
+
+// Install declares every edge with the same parameters and makes it visible
+// instantly, which matches the paper's time-0 assumption that all neighbor
+// sets start fully populated.
+func Install(d *Dynamic, edges []EdgeID, p LinkParams) error {
+	for _, e := range edges {
+		if err := d.DeclareLink(e.U, e.V, p); err != nil {
+			return fmt.Errorf("declare %v: %w", e, err)
+		}
+		if err := d.AppearInstant(e.U, e.V); err != nil {
+			return fmt.Errorf("appear %v: %w", e, err)
+		}
+	}
+	return nil
+}
+
+// Churn randomly toggles non-core edges of a graph while keeping a protected
+// core (typically a spanning tree) alive, so the network stays connected and
+// the stable subgraph is well defined.
+type Churn struct {
+	dyn    *Dynamic
+	rng    *sim.RNG
+	engine *sim.Engine
+	params LinkParams
+	// core edges are never touched.
+	core map[EdgeID]bool
+	// pool is the set of togglable node pairs.
+	pool []EdgeID
+	// up tracks which pool edges are currently requested up.
+	up map[EdgeID]bool
+	// Interval is the mean time between churn events.
+	interval float64
+	ticker   *sim.Event
+	stopped  bool
+	// Toggles counts executed churn operations.
+	Toggles int
+}
+
+// NewChurn creates a churn driver. pool pairs must already be declared or
+// will be declared with params on first use; core edges are protected.
+func NewChurn(d *Dynamic, engine *sim.Engine, rng *sim.RNG, core []EdgeID, pool []EdgeID, params LinkParams, interval float64) *Churn {
+	c := &Churn{
+		dyn:      d,
+		rng:      rng,
+		engine:   engine,
+		params:   params,
+		core:     make(map[EdgeID]bool, len(core)),
+		pool:     append([]EdgeID(nil), pool...),
+		up:       make(map[EdgeID]bool),
+		interval: interval,
+	}
+	for _, e := range core {
+		c.core[e] = true
+	}
+	return c
+}
+
+// Start begins churning at the given time.
+func (c *Churn) Start(at sim.Time) {
+	c.ticker = c.engine.Schedule(at, c.step)
+}
+
+// Stop halts churning.
+func (c *Churn) Stop() {
+	c.stopped = true
+	c.engine.Cancel(c.ticker)
+}
+
+func (c *Churn) step(t sim.Time) {
+	if c.stopped || len(c.pool) == 0 {
+		return
+	}
+	e := c.pool[c.rng.Intn(len(c.pool))]
+	if !c.core[e] {
+		if c.up[e] {
+			if err := c.dyn.Disappear(e.U, e.V); err == nil {
+				c.up[e] = false
+				c.Toggles++
+			}
+		} else {
+			if _, ok := c.dyn.Params(e.U, e.V); !ok {
+				if err := c.dyn.DeclareLink(e.U, e.V, c.params); err != nil {
+					return
+				}
+			}
+			if err := c.dyn.Appear(e.U, e.V); err == nil {
+				c.up[e] = true
+				c.Toggles++
+			}
+		}
+	}
+	delay := c.rng.Uniform(0.5*c.interval, 1.5*c.interval)
+	c.ticker = c.engine.After(delay, c.step)
+}

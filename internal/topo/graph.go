@@ -1,0 +1,412 @@
+// Package topo models the dynamic estimate graph of Section 3.1: a fixed
+// node set with undirected estimate edges that appear and disappear under
+// adversary control. Asymmetric discovery is modelled per the paper: when an
+// edge changes state, the two endpoints observe the change within the edge's
+// detection delay τ of each other.
+package topo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// LinkParams are the per-edge quantities of the model (Section 3.1).
+type LinkParams struct {
+	// Eps is the estimate uncertainty ε_e of eq. (1).
+	Eps float64
+	// Tau is the detection delay τ_e for edge appearance/disappearance.
+	Tau float64
+	// Delay is the message delay bound T_e for explicit messages.
+	Delay float64
+	// Uncertainty is the delay uncertainty U ≤ Delay: a receiver knows the
+	// message was in transit at least Delay−Uncertainty.
+	Uncertainty float64
+}
+
+// Validate reports whether the parameters are internally consistent.
+func (p LinkParams) Validate() error {
+	switch {
+	case p.Eps <= 0:
+		return fmt.Errorf("topo: Eps must be positive, got %v", p.Eps)
+	case p.Tau < 0:
+		return fmt.Errorf("topo: Tau must be non-negative, got %v", p.Tau)
+	case p.Delay <= 0:
+		return fmt.Errorf("topo: Delay must be positive, got %v", p.Delay)
+	case p.Uncertainty < 0 || p.Uncertainty > p.Delay:
+		return fmt.Errorf("topo: Uncertainty must be in [0, Delay], got %v", p.Uncertainty)
+	}
+	return nil
+}
+
+// EdgeID canonically identifies an undirected edge (U < V).
+type EdgeID struct{ U, V int }
+
+// MakeEdgeID returns the canonical id for the pair {a, b}.
+func MakeEdgeID(a, b int) EdgeID {
+	if a > b {
+		a, b = b, a
+	}
+	return EdgeID{U: a, V: b}
+}
+
+// Other returns the endpoint of e that is not u.
+func (e EdgeID) Other(u int) int {
+	if u == e.U {
+		return e.V
+	}
+	return e.U
+}
+
+// Listener receives per-endpoint visibility transitions. self is the node
+// whose directed edge (self, peer) changed.
+type Listener interface {
+	EdgeUp(self, peer int, t sim.Time)
+	EdgeDown(self, peer int, t sim.Time)
+}
+
+// edge holds the dynamic state of one undirected edge.
+type edge struct {
+	id     EdgeID
+	params LinkParams
+	// up[i] is the visibility of the directed edge from endpoint i (0 = U,
+	// 1 = V) to the other endpoint; upSince[i] is when it last became
+	// visible.
+	up      [2]bool
+	upSince [2]sim.Time
+	// pending transitions, so a flap cancels outstanding events.
+	pending [2]*sim.Event
+}
+
+func (e *edge) side(u int) int {
+	if u == e.id.U {
+		return 0
+	}
+	return 1
+}
+
+// Dynamic is the dynamic estimate graph.
+type Dynamic struct {
+	n        int
+	engine   *sim.Engine
+	rng      *sim.RNG
+	listener Listener
+	edges    map[EdgeID]*edge
+	adj      []map[int]*edge
+}
+
+// NewDynamic creates a graph over n nodes with no edges. The listener may be
+// nil (useful in tests); SetListener installs it later.
+func NewDynamic(n int, engine *sim.Engine, rng *sim.RNG) *Dynamic {
+	adj := make([]map[int]*edge, n)
+	for i := range adj {
+		adj[i] = make(map[int]*edge)
+	}
+	return &Dynamic{
+		n:      n,
+		engine: engine,
+		rng:    rng,
+		edges:  make(map[EdgeID]*edge),
+		adj:    adj,
+	}
+}
+
+// SetListener installs the visibility-transition listener.
+func (d *Dynamic) SetListener(l Listener) { d.listener = l }
+
+// N returns the number of nodes.
+func (d *Dynamic) N() int { return d.n }
+
+// DeclareLink registers the parameters of a potential edge. A link must be
+// declared before it can appear. Re-declaring an existing link while it is
+// down updates its parameters.
+func (d *Dynamic) DeclareLink(a, b int, p LinkParams) error {
+	if a == b {
+		return fmt.Errorf("topo: self-loop {%d,%d} not allowed", a, b)
+	}
+	if a < 0 || a >= d.n || b < 0 || b >= d.n {
+		return fmt.Errorf("topo: endpoint out of range in {%d,%d}", a, b)
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	id := MakeEdgeID(a, b)
+	if ex, ok := d.edges[id]; ok {
+		ex.params = p
+		return nil
+	}
+	e := &edge{id: id, params: p}
+	d.edges[id] = e
+	d.adj[id.U][id.V] = e
+	d.adj[id.V][id.U] = e
+	return nil
+}
+
+// Params returns the link parameters for {a,b}.
+func (d *Dynamic) Params(a, b int) (LinkParams, bool) {
+	e, ok := d.edges[MakeEdgeID(a, b)]
+	if !ok {
+		return LinkParams{}, false
+	}
+	return e.params, true
+}
+
+// Appear makes edge {a,b} appear now. Each endpoint observes the appearance
+// after an independent delay drawn uniformly from [0, τ], matching the
+// asymmetric-discovery model. The link must have been declared.
+func (d *Dynamic) Appear(a, b int) error {
+	e, ok := d.edges[MakeEdgeID(a, b)]
+	if !ok {
+		return fmt.Errorf("topo: Appear on undeclared link {%d,%d}", a, b)
+	}
+	for side := 0; side < 2; side++ {
+		d.transition(e, side, true, d.detectionLag(e))
+	}
+	return nil
+}
+
+// AppearInstant makes the edge visible to both endpoints immediately (used
+// for initial topologies, where the paper assumes N_u(0) contains all edges
+// present at time 0).
+func (d *Dynamic) AppearInstant(a, b int) error {
+	e, ok := d.edges[MakeEdgeID(a, b)]
+	if !ok {
+		return fmt.Errorf("topo: AppearInstant on undeclared link {%d,%d}", a, b)
+	}
+	for side := 0; side < 2; side++ {
+		d.transition(e, side, true, 0)
+	}
+	return nil
+}
+
+// Disappear makes edge {a,b} disappear now; endpoints observe within τ.
+func (d *Dynamic) Disappear(a, b int) error {
+	e, ok := d.edges[MakeEdgeID(a, b)]
+	if !ok {
+		return fmt.Errorf("topo: Disappear on undeclared link {%d,%d}", a, b)
+	}
+	for side := 0; side < 2; side++ {
+		d.transition(e, side, false, d.detectionLag(e))
+	}
+	return nil
+}
+
+func (d *Dynamic) detectionLag(e *edge) float64 {
+	if e.params.Tau <= 0 || d.rng == nil {
+		return 0
+	}
+	return d.rng.Uniform(0, e.params.Tau)
+}
+
+// transition schedules the visibility flip of one side after lag time units.
+// An outstanding pending transition for that side is superseded.
+func (d *Dynamic) transition(e *edge, side int, up bool, lag float64) {
+	if e.pending[side] != nil {
+		d.engine.Cancel(e.pending[side])
+		e.pending[side] = nil
+	}
+	apply := func(t sim.Time) {
+		e.pending[side] = nil
+		if e.up[side] == up {
+			return
+		}
+		e.up[side] = up
+		self := e.id.U
+		if side == 1 {
+			self = e.id.V
+		}
+		peer := e.id.Other(self)
+		if up {
+			e.upSince[side] = t
+			if d.listener != nil {
+				d.listener.EdgeUp(self, peer, t)
+			}
+		} else if d.listener != nil {
+			d.listener.EdgeDown(self, peer, t)
+		}
+	}
+	if lag <= 0 {
+		apply(d.engine.Now())
+		return
+	}
+	e.pending[side] = d.engine.After(lag, apply)
+}
+
+// Sees reports whether the directed estimate edge (u, v) currently exists,
+// i.e. v ∈ N_u(t) in the paper's notation.
+func (d *Dynamic) Sees(u, v int) bool {
+	e, ok := d.adj[u][v]
+	if !ok {
+		return false
+	}
+	return e.up[e.side(u)]
+}
+
+// BothUp reports whether {u,v} exists in both directions.
+func (d *Dynamic) BothUp(u, v int) bool {
+	e, ok := d.adj[u][v]
+	if !ok {
+		return false
+	}
+	return e.up[0] && e.up[1]
+}
+
+// UpSince returns the time the directed edge (u,v) last became visible; the
+// second result is false if the edge is currently down for u.
+func (d *Dynamic) UpSince(u, v int) (sim.Time, bool) {
+	e, ok := d.adj[u][v]
+	if !ok {
+		return 0, false
+	}
+	s := e.side(u)
+	if !e.up[s] {
+		return 0, false
+	}
+	return e.upSince[s], true
+}
+
+// AgeBoth returns how long {u,v} has been continuously visible to both
+// endpoints, or false if it is not currently both-up.
+func (d *Dynamic) AgeBoth(u, v int, now sim.Time) (float64, bool) {
+	e, ok := d.adj[u][v]
+	if !ok || !e.up[0] || !e.up[1] {
+		return 0, false
+	}
+	since := math.Max(e.upSince[0], e.upSince[1])
+	return now - since, true
+}
+
+// Neighbors appends to dst the peers currently visible to u, in ascending
+// id order (deterministic iteration keeps whole simulations reproducible),
+// and returns the slice.
+func (d *Dynamic) Neighbors(u int, dst []int) []int {
+	start := len(dst)
+	for v, e := range d.adj[u] {
+		if e.up[e.side(u)] {
+			dst = append(dst, v)
+		}
+	}
+	sort.Ints(dst[start:])
+	return dst
+}
+
+// EdgesBothUp appends to dst all edges visible in both directions, sorted.
+func (d *Dynamic) EdgesBothUp(dst []EdgeID) []EdgeID {
+	start := len(dst)
+	for id, e := range d.edges {
+		if e.up[0] && e.up[1] {
+			dst = append(dst, id)
+		}
+	}
+	sortEdges(dst[start:])
+	return dst
+}
+
+// StableEdges appends all edges both-up continuously for at least minAge,
+// sorted.
+func (d *Dynamic) StableEdges(now sim.Time, minAge float64, dst []EdgeID) []EdgeID {
+	start := len(dst)
+	for id := range d.edges {
+		if age, ok := d.AgeBoth(id.U, id.V, now); ok && age >= minAge {
+			dst = append(dst, id)
+		}
+	}
+	sortEdges(dst[start:])
+	return dst
+}
+
+func sortEdges(edges []EdgeID) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+}
+
+// HopDistances runs BFS from src over both-up edges at least minAge old and
+// returns hop counts (-1 for unreachable).
+func (d *Dynamic) HopDistances(src int, now sim.Time, minAge float64) []int {
+	dist := make([]int, d.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for v, e := range d.adj[u] {
+			if dist[v] >= 0 {
+				continue
+			}
+			if age, ok := d.AgeBoth(u, v, now); !ok || age < minAge {
+				_ = e
+				continue
+			}
+			dist[v] = dist[u] + 1
+			queue = append(queue, v)
+		}
+	}
+	return dist
+}
+
+// WeightedDistances runs Dijkstra from src over stable both-up edges using a
+// per-edge weight function (e.g. the algorithm's κ_e). Unreachable nodes get
+// +Inf.
+func (d *Dynamic) WeightedDistances(src int, now sim.Time, minAge float64, weight func(EdgeID, LinkParams) float64) []float64 {
+	const inf = math.MaxFloat64
+	dist := make([]float64, d.n)
+	done := make([]bool, d.n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	for {
+		u, best := -1, inf
+		for i := range dist {
+			if !done[i] && dist[i] < best {
+				u, best = i, dist[i]
+			}
+		}
+		if u < 0 {
+			break
+		}
+		done[u] = true
+		for v, e := range d.adj[u] {
+			if age, ok := d.AgeBoth(u, v, now); !ok || age < minAge {
+				continue
+			}
+			w := weight(e.id, e.params)
+			if nd := dist[u] + w; nd < dist[v] {
+				dist[v] = nd
+			}
+		}
+	}
+	for i := range dist {
+		if dist[i] == inf {
+			dist[i] = math.Inf(1)
+		}
+	}
+	return dist
+}
+
+// HopDiameter returns the maximum finite BFS eccentricity over stable edges,
+// and whether the stable subgraph is connected.
+func (d *Dynamic) HopDiameter(now sim.Time, minAge float64) (int, bool) {
+	diam := 0
+	for u := 0; u < d.n; u++ {
+		dist := d.HopDistances(u, now, minAge)
+		for _, v := range dist {
+			if v < 0 {
+				return 0, false
+			}
+			if v > diam {
+				diam = v
+			}
+		}
+	}
+	return diam, true
+}

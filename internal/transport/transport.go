@@ -1,0 +1,172 @@
+// Package transport delivers messages over the dynamic estimate graph with
+// bounded, adversary-controlled delays. Two kinds of traffic exist in the
+// reproduced system: periodic beacons (carrying logical-clock values and max
+// estimates, Section 4.2) and explicit control messages (the edge-insertion
+// handshake of Listing 1).
+package transport
+
+import (
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Beacon is the periodic synchronization message. L and M are the sender's
+// logical clock and max estimate at send time.
+type Beacon struct {
+	L float64
+	M float64
+}
+
+// Delivery carries the metadata a receiver may legitimately use: when the
+// message arrived and the certified minimum transit time (Delay−Uncertainty
+// for the edge). The actual delay is intentionally not exposed.
+type Delivery struct {
+	From, To   int
+	SentAt     sim.Time
+	At         sim.Time
+	MinTransit float64
+}
+
+// Handler receives delivered traffic.
+type Handler interface {
+	OnBeacon(to, from int, b Beacon, d Delivery)
+	OnControl(to, from int, payload any, d Delivery)
+}
+
+// DelayPolicy chooses the transit time of each message within the edge's
+// legal window [Delay−Uncertainty, Delay]. Implementations act as the delay
+// adversary.
+type DelayPolicy interface {
+	Draw(rng *sim.RNG, from, to int, p topo.LinkParams) float64
+}
+
+// RandomDelay draws uniformly from the legal window.
+type RandomDelay struct{}
+
+// Draw implements DelayPolicy.
+func (RandomDelay) Draw(rng *sim.RNG, _, _ int, p topo.LinkParams) float64 {
+	if p.Uncertainty <= 0 || rng == nil {
+		return p.Delay
+	}
+	return rng.Uniform(p.Delay-p.Uncertainty, p.Delay)
+}
+
+// MaxDelay always uses the maximum delay.
+type MaxDelay struct{}
+
+// Draw implements DelayPolicy.
+func (MaxDelay) Draw(_ *sim.RNG, _, _ int, p topo.LinkParams) float64 { return p.Delay }
+
+// MinDelay always uses the minimum delay.
+type MinDelay struct{}
+
+// Draw implements DelayPolicy.
+func (MinDelay) Draw(_ *sim.RNG, _, _ int, p topo.LinkParams) float64 {
+	return p.Delay - p.Uncertainty
+}
+
+// ShiftDelay is the classic shifting adversary: messages travelling towards
+// higher node ids get minimum delay, messages towards lower ids get maximum
+// delay (or the reverse if TowardLow is set). Combined with a matching drift
+// schedule this hides accumulated skew from the algorithm, which is how the
+// Section 8 lower-bound execution is realized operationally.
+type ShiftDelay struct {
+	TowardLow bool
+}
+
+// Draw implements DelayPolicy.
+func (s ShiftDelay) Draw(_ *sim.RNG, from, to int, p topo.LinkParams) float64 {
+	towardHigh := to > from
+	if towardHigh != s.TowardLow {
+		return p.Delay - p.Uncertainty
+	}
+	return p.Delay
+}
+
+// Network schedules deliveries over a dynamic graph. A message is delivered
+// only if the receiver still sees the sender at delivery time; this matches
+// the model's guarantee that delivery is assured only while the estimate
+// edge persists at the receiver.
+type Network struct {
+	engine  *sim.Engine
+	dyn     *topo.Dynamic
+	rng     *sim.RNG
+	policy  DelayPolicy
+	handler Handler
+	// Sent and Dropped count messages for diagnostics.
+	Sent    uint64
+	Dropped uint64
+}
+
+// NewNetwork wires a transport over the given graph. handler may be set
+// later with SetHandler.
+func NewNetwork(engine *sim.Engine, dyn *topo.Dynamic, rng *sim.RNG, policy DelayPolicy) *Network {
+	if policy == nil {
+		policy = RandomDelay{}
+	}
+	return &Network{engine: engine, dyn: dyn, rng: rng, policy: policy}
+}
+
+// SetHandler installs the traffic handler.
+func (n *Network) SetHandler(h Handler) { n.handler = h }
+
+// SetPolicy replaces the delay adversary (usable mid-run).
+func (n *Network) SetPolicy(p DelayPolicy) { n.policy = p }
+
+// SendBeacon transmits a beacon from → to if the link is declared. Delivery
+// happens after the drawn delay, provided the receiver sees the sender then.
+func (n *Network) SendBeacon(from, to int, b Beacon) {
+	params, ok := n.dyn.Params(from, to)
+	if !ok {
+		return
+	}
+	n.send(from, to, params, func(d Delivery) {
+		n.handler.OnBeacon(to, from, b, d)
+	})
+}
+
+// SendControl transmits an arbitrary control payload (handshake messages).
+func (n *Network) SendControl(from, to int, payload any) {
+	params, ok := n.dyn.Params(from, to)
+	if !ok {
+		return
+	}
+	n.send(from, to, params, func(d Delivery) {
+		n.handler.OnControl(to, from, payload, d)
+	})
+}
+
+// BroadcastBeacon sends the beacon to every neighbor currently visible to
+// from.
+func (n *Network) BroadcastBeacon(from int, b Beacon, scratch []int) []int {
+	scratch = n.dyn.Neighbors(from, scratch[:0])
+	for _, to := range scratch {
+		n.SendBeacon(from, to, b)
+	}
+	return scratch
+}
+
+func (n *Network) send(from, to int, params topo.LinkParams, deliver func(Delivery)) {
+	sentAt := n.engine.Now()
+	delay := n.policy.Draw(n.rng, from, to, params)
+	if delay < params.Delay-params.Uncertainty {
+		delay = params.Delay - params.Uncertainty
+	}
+	if delay > params.Delay {
+		delay = params.Delay
+	}
+	n.Sent++
+	n.engine.After(delay, func(t sim.Time) {
+		if n.handler == nil || !n.dyn.Sees(to, from) {
+			n.Dropped++
+			return
+		}
+		deliver(Delivery{
+			From:       from,
+			To:         to,
+			SentAt:     sentAt,
+			At:         t,
+			MinTransit: params.Delay - params.Uncertainty,
+		})
+	})
+}

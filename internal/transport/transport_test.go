@@ -1,0 +1,161 @@
+package transport
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func params() topo.LinkParams {
+	return topo.LinkParams{Eps: 0.2, Tau: 0.1, Delay: 0.2, Uncertainty: 0.1}
+}
+
+type capture struct {
+	beacons  []Delivery
+	controls []Delivery
+	payloads []any
+	values   []Beacon
+}
+
+func (c *capture) OnBeacon(to, from int, b Beacon, d Delivery) {
+	c.beacons = append(c.beacons, d)
+	c.values = append(c.values, b)
+}
+
+func (c *capture) OnControl(to, from int, payload any, d Delivery) {
+	c.controls = append(c.controls, d)
+	c.payloads = append(c.payloads, payload)
+}
+
+func setup(t *testing.T, policy DelayPolicy) (*sim.Engine, *topo.Dynamic, *Network, *capture) {
+	t.Helper()
+	eng := sim.NewEngine()
+	d := topo.NewDynamic(3, eng, sim.NewRNG(1))
+	if err := topo.Install(d, topo.Line(3), params()); err != nil {
+		t.Fatal(err)
+	}
+	net := NewNetwork(eng, d, sim.NewRNG(2), policy)
+	cap := &capture{}
+	net.SetHandler(cap)
+	return eng, d, net, cap
+}
+
+func TestBeaconDeliveredWithinWindow(t *testing.T) {
+	eng, _, net, cap := setup(t, RandomDelay{})
+	net.SendBeacon(0, 1, Beacon{L: 5, M: 6})
+	eng.RunUntil(1)
+	if len(cap.beacons) != 1 {
+		t.Fatalf("delivered %d beacons, want 1", len(cap.beacons))
+	}
+	d := cap.beacons[0]
+	transit := d.At - d.SentAt
+	p := params()
+	if transit < p.Delay-p.Uncertainty-1e-12 || transit > p.Delay+1e-12 {
+		t.Errorf("transit %v outside legal window [%v, %v]", transit, p.Delay-p.Uncertainty, p.Delay)
+	}
+	if d.MinTransit != p.Delay-p.Uncertainty {
+		t.Errorf("MinTransit = %v, want %v", d.MinTransit, p.Delay-p.Uncertainty)
+	}
+	if cap.values[0].L != 5 || cap.values[0].M != 6 {
+		t.Errorf("beacon payload corrupted: %+v", cap.values[0])
+	}
+}
+
+func TestControlPayloadRoundTrip(t *testing.T) {
+	eng, _, net, cap := setup(t, MaxDelay{})
+	type msg struct{ X int }
+	net.SendControl(1, 2, msg{X: 42})
+	eng.RunUntil(1)
+	if len(cap.controls) != 1 {
+		t.Fatalf("delivered %d controls, want 1", len(cap.controls))
+	}
+	got, ok := cap.payloads[0].(msg)
+	if !ok || got.X != 42 {
+		t.Fatalf("payload = %#v, want msg{42}", cap.payloads[0])
+	}
+}
+
+func TestNoDeliveryToInvisibleReceiver(t *testing.T) {
+	eng, dyn, net, cap := setup(t, MaxDelay{})
+	net.SendBeacon(0, 1, Beacon{})
+	// Edge goes down before the delivery time; receiver must not get it.
+	if err := dyn.Disappear(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(1)
+	if len(cap.beacons) != 0 {
+		t.Fatalf("beacon delivered over dead edge")
+	}
+	if net.Dropped == 0 {
+		t.Error("drop not counted")
+	}
+}
+
+func TestSendOnUndeclaredLinkIsNoop(t *testing.T) {
+	eng, _, net, cap := setup(t, MaxDelay{})
+	net.SendBeacon(0, 2, Beacon{}) // 0–2 not a line edge
+	eng.RunUntil(1)
+	if len(cap.beacons) != 0 || net.Sent != 0 {
+		t.Fatal("message sent over undeclared link")
+	}
+}
+
+func TestBroadcastReachesAllNeighbors(t *testing.T) {
+	eng, _, net, cap := setup(t, MinDelay{})
+	net.BroadcastBeacon(1, Beacon{L: 1}, nil)
+	eng.RunUntil(1)
+	if len(cap.beacons) != 2 {
+		t.Fatalf("broadcast delivered %d beacons, want 2", len(cap.beacons))
+	}
+	tos := map[int]bool{}
+	for _, d := range cap.beacons {
+		tos[d.To] = true
+	}
+	if !tos[0] || !tos[2] {
+		t.Fatalf("broadcast targets = %v, want {0,2}", tos)
+	}
+}
+
+func TestDelayPolicies(t *testing.T) {
+	p := params()
+	rng := sim.NewRNG(3)
+	tests := []struct {
+		name   string
+		policy DelayPolicy
+		from   int
+		to     int
+		want   float64
+	}{
+		{"max", MaxDelay{}, 0, 1, p.Delay},
+		{"min", MinDelay{}, 0, 1, p.Delay - p.Uncertainty},
+		{"shift toward high is fast", ShiftDelay{}, 0, 1, p.Delay - p.Uncertainty},
+		{"shift toward low is slow", ShiftDelay{}, 1, 0, p.Delay},
+		{"shift reversed", ShiftDelay{TowardLow: true}, 1, 0, p.Delay - p.Uncertainty},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.policy.Draw(rng, tc.from, tc.to, p); got != tc.want {
+				t.Errorf("Draw = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestRandomDelayWithinWindowProperty(t *testing.T) {
+	f := func(seed int64, delayRaw, uncRaw uint8) bool {
+		p := topo.LinkParams{
+			Eps:   0.1,
+			Delay: float64(delayRaw%50+1) / 100,
+		}
+		p.Uncertainty = p.Delay * float64(uncRaw%101) / 100
+		d := (RandomDelay{}).Draw(sim.NewRNG(seed), 0, 1, p)
+		return d >= p.Delay-p.Uncertainty-1e-12 && d <= p.Delay+1e-12
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
