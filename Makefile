@@ -1,0 +1,28 @@
+# CI entry points for the reproduction. `make ci` is what a pipeline runs.
+
+GO ?= go
+
+.PHONY: all build test race bench suite ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The sweep layer fans replicas across goroutines; the race target proves
+# the concurrent paths clean (the determinism tests run replicated
+# experiments at parallelism 8 under the detector).
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+# The full reproduction report with multi-seed aggregation.
+suite:
+	$(GO) run ./cmd/experiments -seeds 8 -parallel 8
+
+ci: build test race

@@ -1,6 +1,7 @@
 package gradsync_test
 
-// One benchmark per experiment in the reproduction index (DESIGN.md): each
+// One benchmark per experiment in the reproduction index (EXPERIMENTS.md):
+// each
 // regenerates its paper table at bench scale and reports the rows through
 // b.Log, so `go test -bench=.` reproduces every "table and figure" of the
 // reproduction. Failures of the shape assertions fail the benchmark.
@@ -9,11 +10,13 @@ package gradsync_test
 // estimate layer) follow at the end.
 
 import (
+	"fmt"
 	"testing"
 
 	gradsync "repro"
 	"repro/internal/experiments"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 func benchExperiment(b *testing.B, run experiments.Runner) {
@@ -104,4 +107,30 @@ func BenchmarkLargeNetwork(b *testing.B) {
 
 func BenchmarkE13InsertionStrategies(b *testing.B) {
 	benchExperiment(b, experiments.E13InsertionStrategies)
+}
+
+// BenchmarkSweepReplicas measures the multi-seed sweep engine at several
+// worker-pool sizes on one experiment (8 replicas of E01 at bench scale).
+// The parallel=k/parallel=1 wall-clock ratio is the speedup headline; the
+// report is byte-identical across pool sizes, so only time may differ.
+func BenchmarkSweepReplicas(b *testing.B) {
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := experiments.RunReplicated(experiments.E01GlobalSkew,
+					experiments.Spec{Quick: true, Seed: 1, Seeds: 8, Parallelism: par})
+				if !res.Pass {
+					b.Fatalf("E01 failed shape checks: %v", res.Failures)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepPoolOverhead isolates the pool's scheduling cost: replicas
+// that do no work, so any measured time is Map bookkeeping.
+func BenchmarkSweepPoolOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sweep.Each(64, 8, func(int) {})
+	}
 }

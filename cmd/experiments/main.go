@@ -1,10 +1,14 @@
-// Command experiments runs the full reproduction suite (E1–E12, one per
-// theorem-level claim of the paper; see DESIGN.md) and prints the result
-// tables. Use -quick for bench-sized runs and -only to select experiments.
+// Command experiments runs the full reproduction suite (E01–E13, one per
+// theorem-level claim of the paper; see EXPERIMENTS.md) and prints the
+// result tables. Use -quick for bench-sized runs, -only to select
+// experiments, and -seeds/-parallel to aggregate independent adversary
+// draws on a worker pool (the report is identical for every -parallel
+// value; see internal/sweep).
 //
 //	experiments                 # full suite
 //	experiments -quick          # fast suite
 //	experiments -only E03,E05   # a subset
+//	experiments -seeds 8 -parallel 8
 //	experiments -out results.txt
 package main
 
@@ -29,7 +33,9 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "bench-sized runs")
-	seed := fs.Int64("seed", 1, "random seed")
+	seed := fs.Int64("seed", 1, "root random seed")
+	seeds := fs.Int("seeds", 1, "independent replicas per experiment, aggregated as mean±std")
+	parallel := fs.Int("parallel", 0, "replica worker pool size (0 = GOMAXPROCS); does not affect results")
 	only := fs.String("only", "", "comma-separated experiment ids (e.g. E03,E05)")
 	out := fs.String("out", "", "also write the report to this file")
 	if err := fs.Parse(args); err != nil {
@@ -60,7 +66,7 @@ func run(args []string, stdout io.Writer) error {
 		w = io.MultiWriter(stdout, f)
 	}
 
-	spec := experiments.Spec{Quick: *quick, Seed: *seed}
+	spec := experiments.Spec{Quick: *quick, Seed: *seed, Seeds: *seeds, Parallelism: *parallel}
 	failed := 0
 	ran := 0
 	start := time.Now()
@@ -68,7 +74,7 @@ func run(args []string, stdout io.Writer) error {
 		if filter != nil && !filter[entry.ID] {
 			continue
 		}
-		res := entry.Run(spec)
+		res := experiments.RunReplicated(entry.Run, spec)
 		ran++
 		fmt.Fprintln(w, res.String())
 		if !res.Pass {

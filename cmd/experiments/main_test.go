@@ -21,6 +21,31 @@ func TestRunSubset(t *testing.T) {
 	}
 }
 
+// TestRunMultiSeedParallelIdentical drives the CLI with -seeds/-parallel:
+// the aggregated report must not depend on the worker pool size (the
+// trailing summary line carries wall-clock time and is stripped).
+func TestRunMultiSeedParallelIdentical(t *testing.T) {
+	report := func(parallel string) string {
+		t.Helper()
+		var out bytes.Buffer
+		if err := run([]string{"-quick", "-only", "E06", "-seeds", "3", "-parallel", parallel}, &out); err != nil {
+			t.Fatalf("run(-parallel %s): %v", parallel, err)
+		}
+		body, _, _ := strings.Cut(out.String(), "===")
+		return body
+	}
+	serial := report("1")
+	if !strings.Contains(serial, "±") {
+		t.Errorf("aggregated report has no mean±std cells:\n%s", serial)
+	}
+	if !strings.Contains(serial, "aggregated over 3 seeds") {
+		t.Errorf("aggregated report missing provenance note:\n%s", serial)
+	}
+	if parallel := report("8"); parallel != serial {
+		t.Errorf("-parallel 8 changed the report:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
 func TestRunUnknownFlag(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-bogus"}, &out); err == nil {

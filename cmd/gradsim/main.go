@@ -1,26 +1,33 @@
 // Command gradsim runs one clock synchronization scenario and reports skew
-// metrics over time. It exercises the public gradsync API.
+// metrics over time. It exercises the public gradsync API. With -seeds it
+// replays the same scenario over independent adversary draws on a worker
+// pool and reports mean±std per sample time (identical output for every
+// -parallel value; see internal/sweep).
 //
 // Examples:
 //
 //	gradsim -topo line -n 16 -drift twogroup -horizon 600
 //	gradsim -algo maxsync -topo ring -n 32 -drift linear
 //	gradsim -algo blocksync -blocksize 2 -topo line -n 24
-//	gradsim -topo line -n 16 -addedge 0,15@100 -horizon 4000
+//	gradsim -topo line -n 16 -edges add:0,15@100 -horizon 4000
+//	gradsim -seeds 8 -parallel 8 -topo ring -n 24
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	gradsync "repro"
+	"repro/internal/metrics"
+	"repro/internal/sweep"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "gradsim:", err)
 		os.Exit(1)
 	}
@@ -32,7 +39,7 @@ type edgeEvent struct {
 	add  bool
 }
 
-func run(args []string) error {
+func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("gradsim", flag.ContinueOnError)
 	var (
 		topoKind  = fs.String("topo", "line", "topology: line|ring|star|grid|torus|random")
@@ -47,7 +54,9 @@ func run(args []string) error {
 		gtilde    = fs.Float64("gtilde", 0, "static global skew estimate (0 = derive)")
 		horizon   = fs.Float64("horizon", 600, "simulated time to run")
 		sample    = fs.Float64("sample", 0, "sampling interval (0 = horizon/20)")
-		seed      = fs.Int64("seed", 1, "random seed")
+		seed      = fs.Int64("seed", 1, "random seed (root seed when -seeds > 1)")
+		seeds     = fs.Int("seeds", 1, "independent replicas of the scenario, aggregated as mean±std")
+		parallel  = fs.Int("parallel", 0, "replica worker pool size (0 = GOMAXPROCS); does not affect results")
 		tick      = fs.Float64("tick", 0.02, "integration step")
 		edgeOps   = fs.String("edges", "", "dynamic edge ops, e.g. add:0,15@100;cut:3,4@200")
 		csv       = fs.Bool("csv", false, "emit CSV instead of a table")
@@ -81,72 +90,156 @@ func run(args []string) error {
 		return err
 	}
 
-	net, err := gradsync.New(gradsync.Config{
-		Topology:  topology,
-		Algorithm: algo,
-		Drift:     driftSpec,
-		Delay:     delaySpec,
-		Estimates: estSpec,
-		Mu:        *mu,
-		Rho:       *rho,
-		GTilde:    *gtilde,
-		Tick:      *tick,
-		Seed:      *seed,
-	})
-	if err != nil {
-		return err
-	}
-
-	for _, ev := range events {
-		ev := ev
-		net.At(ev.at, func(float64) {
-			var err error
-			if ev.add {
-				err = net.AddEdge(ev.u, ev.v)
-			} else {
-				err = net.CutEdge(ev.u, ev.v)
-			}
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "gradsim: edge op at t=%v: %v\n", ev.at, err)
-			}
-		})
-	}
-
 	interval := *sample
 	if interval <= 0 {
 		interval = *horizon / 20
 	}
-	fmt.Printf("algorithm=%s nodes=%d κ=%.4g σ=%.4g G̃=%.4g bound(1 hop)=%.4g\n",
+
+	// One replica = one fully independent simulation of the scenario. The
+	// closure only touches its own network and row buffer, so replicas can
+	// run on any number of workers without sharing state. Final scalars are
+	// captured here and the network released (only replica 0 keeps its net,
+	// for the header/bound lines), so peak memory tracks the pool size
+	// rather than -seeds.
+	type replica struct {
+		net           *gradsync.Network
+		rows          [][]string
+		finalGlobal   float64
+		finalAdjacent float64
+		hasCore       bool
+		insertions    uint64
+		aborts        uint64
+		conflicts     uint64
+		errs          []string
+		err           error
+	}
+	runReplica := func(seed int64) *replica {
+		rep := &replica{}
+		net, err := gradsync.New(gradsync.Config{
+			Topology:  topology,
+			Algorithm: algo,
+			Drift:     driftSpec,
+			Delay:     delaySpec,
+			Estimates: estSpec,
+			Mu:        *mu,
+			Rho:       *rho,
+			GTilde:    *gtilde,
+			Tick:      *tick,
+			Seed:      seed,
+		})
+		if err != nil {
+			rep.err = err
+			return rep
+		}
+		rep.net = net
+		for _, ev := range events {
+			ev := ev
+			net.At(ev.at, func(float64) {
+				var err error
+				if ev.add {
+					err = net.AddEdge(ev.u, ev.v)
+				} else {
+					err = net.CutEdge(ev.u, ev.v)
+				}
+				if err != nil {
+					rep.errs = append(rep.errs, fmt.Sprintf("edge op at t=%v: %v", ev.at, err))
+				}
+			})
+		}
+		net.Every(interval, func(t float64) {
+			rep.rows = append(rep.rows, []string{
+				fmt.Sprintf("%.1f", t),
+				fmt.Sprintf("%.4f", net.GlobalSkew()),
+				fmt.Sprintf("%.4f", net.AdjacentSkew()),
+				modeSummary(net),
+			})
+		})
+		net.RunFor(*horizon)
+		rep.finalGlobal = net.GlobalSkew()
+		rep.finalAdjacent = net.AdjacentSkew()
+		if c := net.Core(); c != nil {
+			rep.hasCore = true
+			rep.insertions = c.Insertions
+			rep.aborts = c.HandshakeAborts
+			rep.conflicts = c.TriggerConflicts
+		}
+		return rep
+	}
+
+	roots := []int64{*seed} // a single run keeps the root seed itself
+	if *seeds > 1 {
+		roots = sweep.Seeds(*seed, *seeds)
+	}
+	reps := sweep.Map(len(roots), *parallel, func(i int) *replica {
+		rep := runReplica(roots[i])
+		if i != 0 {
+			rep.net = nil
+		}
+		return rep
+	})
+	for i, rep := range reps {
+		if rep.err != nil {
+			return fmt.Errorf("replica %d (seed %d): %w", i, roots[i], rep.err)
+		}
+		for _, e := range rep.errs {
+			fmt.Fprintf(os.Stderr, "gradsim: replica %d: %s\n", i, e)
+		}
+	}
+
+	net := reps[0].net
+	fmt.Fprintf(w, "algorithm=%s nodes=%d κ=%.4g σ=%.4g G̃=%.4g bound(1 hop)=%.4g\n",
 		net.AlgorithmName(), net.N(), net.Kappa(), net.Sigma(), net.GTilde(), net.GradientBoundHops(1))
 
 	header := []string{"t", "global", "adjacent", "mode"}
-	rows := [][]string{}
-	net.Every(interval, func(t float64) {
-		rows = append(rows, []string{
-			fmt.Sprintf("%.1f", t),
-			fmt.Sprintf("%.4f", net.GlobalSkew()),
-			fmt.Sprintf("%.4f", net.AdjacentSkew()),
-			modeSummary(net),
-		})
-	})
-	net.RunFor(*horizon)
+	rows := reps[0].rows
+	if len(reps) > 1 {
+		fmt.Fprintf(w, "replicas: %d seeds derived from root %d (varying cells mean±std, · = replica-dependent)\n",
+			len(reps), *seed)
+		tables := make([]*metrics.Table, len(reps))
+		for i, rep := range reps {
+			tables[i] = &metrics.Table{Columns: header, Rows: rep.rows}
+		}
+		rows = sweep.Tables(tables).Rows
+	}
 
 	if *csv {
-		fmt.Println(strings.Join(header, ","))
+		fmt.Fprintln(w, strings.Join(header, ","))
 		for _, r := range rows {
-			fmt.Println(strings.Join(r, ","))
+			fmt.Fprintln(w, strings.Join(r, ","))
 		}
 	} else {
-		fmt.Printf("%8s %10s %10s %s\n", header[0], header[1], header[2], header[3])
+		fmt.Fprintf(w, "%8s %10s %10s %s\n", header[0], header[1], header[2], header[3])
 		for _, r := range rows {
-			fmt.Printf("%8s %10s %10s %s\n", r[0], r[1], r[2], r[3])
+			fmt.Fprintf(w, "%8s %10s %10s %s\n", r[0], r[1], r[2], r[3])
 		}
 	}
-	fmt.Printf("final: global=%.4f adjacent=%.4f (gradient bound 1 hop: %.4f)\n",
-		net.GlobalSkew(), net.AdjacentSkew(), net.GradientBoundHops(1))
-	if c := net.Core(); c != nil {
-		fmt.Printf("aopt: insertions=%d handshakeAborts=%d triggerConflicts=%d\n",
-			c.Insertions, c.HandshakeAborts, c.TriggerConflicts)
+
+	if len(reps) == 1 {
+		rep := reps[0]
+		fmt.Fprintf(w, "final: global=%.4f adjacent=%.4f (gradient bound 1 hop: %.4f)\n",
+			rep.finalGlobal, rep.finalAdjacent, net.GradientBoundHops(1))
+		if rep.hasCore {
+			fmt.Fprintf(w, "aopt: insertions=%d handshakeAborts=%d triggerConflicts=%d\n",
+				rep.insertions, rep.aborts, rep.conflicts)
+		}
+		return nil
+	}
+	stat := func(get func(*replica) float64) sweep.Summary {
+		vals := make([]float64, len(reps))
+		for i, rep := range reps {
+			vals[i] = get(rep)
+		}
+		return sweep.Summarize(vals)
+	}
+	fmt.Fprintf(w, "final: global=%s adjacent=%s (gradient bound 1 hop: %.4f)\n",
+		stat(func(r *replica) float64 { return r.finalGlobal }),
+		stat(func(r *replica) float64 { return r.finalAdjacent }),
+		net.GradientBoundHops(1))
+	if reps[0].hasCore {
+		fmt.Fprintf(w, "aopt: insertions=%s handshakeAborts=%s triggerConflicts=%s\n",
+			stat(func(r *replica) float64 { return float64(r.insertions) }),
+			stat(func(r *replica) float64 { return float64(r.aborts) }),
+			stat(func(r *replica) float64 { return float64(r.conflicts) }))
 	}
 	return nil
 }

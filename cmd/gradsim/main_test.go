@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
 
 func TestParseEdgeOps(t *testing.T) {
 	tests := []struct {
@@ -85,12 +90,39 @@ func TestIntSqrt(t *testing.T) {
 
 // TestRunSmoke exercises the full CLI path on a tiny scenario.
 func TestRunSmoke(t *testing.T) {
+	var out bytes.Buffer
 	err := run([]string{"-topo", "line", "-n", "6", "-horizon", "20", "-sample", "10",
-		"-edges", "add:0,5@5", "-csv"})
+		"-edges", "add:0,5@5", "-csv"}, &out)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if err := run([]string{"-topo", "bogus"}); err == nil {
+	if out.Len() == 0 {
+		t.Error("no output")
+	}
+	if err := run([]string{"-topo", "bogus"}, io.Discard); err == nil {
 		t.Error("bogus topology accepted")
+	}
+}
+
+// TestRunMultiSeedParallelIdentical replays one scenario across seeds on
+// pools of different sizes; the aggregated report must be byte-identical
+// and carry mean±std cells.
+func TestRunMultiSeedParallelIdentical(t *testing.T) {
+	report := func(parallel string) string {
+		t.Helper()
+		var out bytes.Buffer
+		err := run([]string{"-topo", "ring", "-n", "8", "-horizon", "30", "-sample", "10",
+			"-seeds", "4", "-parallel", parallel}, &out)
+		if err != nil {
+			t.Fatalf("run(-parallel %s): %v", parallel, err)
+		}
+		return out.String()
+	}
+	serial := report("1")
+	if !strings.Contains(serial, "±") {
+		t.Errorf("aggregated report has no mean±std cells:\n%s", serial)
+	}
+	if got := report("8"); got != serial {
+		t.Errorf("-parallel 8 changed the report:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, got)
 	}
 }

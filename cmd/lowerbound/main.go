@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -15,13 +16,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "lowerbound:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("lowerbound", flag.ContinueOnError)
 	n := fs.Int("n", 16, "nodes (two segments of n/2)")
 	offsetPerNode := fs.Float64("offset", 1.0, "initial clock offset per node between segments")
@@ -62,31 +63,31 @@ func run(args []string) error {
 	threshold := net.GradientBoundHops(1)
 	tMin := (offset - threshold) / rateGap
 
-	fmt.Printf("two segments of %d nodes, offset %.1f; new edge {%d,%d} appears at t=%.0f\n",
+	fmt.Fprintf(w, "two segments of %d nodes, offset %.1f; new edge {%d,%d} appears at t=%.0f\n",
 		k, offset, k-1, k, mergeAt)
-	fmt.Printf("gradient threshold for the edge: %.3f\n", threshold)
-	fmt.Printf("universal envelope lower bound on stabilization: %.1f time units\n\n", tMin)
+	fmt.Fprintf(w, "gradient threshold for the edge: %.3f\n", threshold)
+	fmt.Fprintf(w, "universal envelope lower bound on stabilization: %.1f time units\n\n", tMin)
 
 	net.At(mergeAt, func(float64) {
 		if err := net.AddEdge(k-1, k); err != nil {
 			fmt.Fprintln(os.Stderr, "lowerbound: AddEdge:", err)
 		}
 	})
-	fmt.Printf("%8s %10s %8s\n", "t", "edgeSkew", "")
+	fmt.Fprintf(w, "%8s %10s %8s\n", "t", "edgeSkew", "")
 	stabilized := -1.0
 	net.Every(tMin/12, func(t float64) {
 		s := net.SkewBetween(k-1, k)
 		bar := strings.Repeat("#", int(s/offset*50))
-		fmt.Printf("%8.1f %10.3f %s\n", t, s, bar)
+		fmt.Fprintf(w, "%8.1f %10.3f %s\n", t, s, bar)
 		if stabilized < 0 && t > mergeAt && s <= threshold {
 			stabilized = t - mergeAt
 		}
 	})
 	net.RunFor(mergeAt + tMin*1.4 + 40)
 
-	fmt.Printf("\nskew dropped below the threshold after ≈ %.1f time units (lower bound %.1f, ratio %.2f)\n",
+	fmt.Fprintf(w, "\nskew dropped below the threshold after ≈ %.1f time units (lower bound %.1f, ratio %.2f)\n",
 		stabilized, tMin, stabilized/tMin)
-	fmt.Println("no algorithm with logical clock rates in [1−ρ, (1+ρ)(1+µ)] can beat the lower bound (Theorem 8.1);")
-	fmt.Println("AOPT matches it up to a small constant — its stabilization time is asymptotically optimal.")
+	fmt.Fprintln(w, "no algorithm with logical clock rates in [1−ρ, (1+ρ)(1+µ)] can beat the lower bound (Theorem 8.1);")
+	fmt.Fprintln(w, "AOPT matches it up to a small constant — its stabilization time is asymptotically optimal.")
 	return nil
 }

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke runs the lower-bound demonstration at tiny scale and checks
+// the report reaches its conclusion.
+func TestRunSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "8", "-offset", "0.5"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if s == "" {
+		t.Fatal("no output")
+	}
+	for _, want := range []string{"universal envelope lower bound", "edgeSkew", "Theorem 8.1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}, io.Discard); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -6,12 +6,21 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
+	"os"
 
 	gradsync "repro"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "churn:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer) error {
 	const n = 12
 	net, err := gradsync.New(gradsync.Config{
 		Topology: gradsync.RingTopology(n),
@@ -22,7 +31,7 @@ func main() {
 		Seed:      11,
 	})
 	if err != nil {
-		panic(err)
+		return err
 	}
 
 	rng := rand.New(rand.NewSource(11))
@@ -52,27 +61,36 @@ func main() {
 
 	// Watch one specific chord get inserted level by level.
 	watched := chord{2, 7}
+	var watchErr error
 	net.At(20, func(float64) {
+		if up[watched] {
+			return // the churn process already raised it
+		}
 		if err := net.AddEdge(watched.u, watched.v); err != nil {
-			panic(err)
+			watchErr = err
+			return
 		}
 		up[watched] = true
 	})
 
-	fmt.Println("ring backbone + churning chords; watching edge {2,7} climb the neighbor-set levels")
-	fmt.Printf("%8s %12s %12s %14s\n", "t", "globalSkew", "localSkew", "level{2,7}")
+	fmt.Fprintln(w, "ring backbone + churning chords; watching edge {2,7} climb the neighbor-set levels")
+	fmt.Fprintf(w, "%8s %12s %12s %14s\n", "t", "globalSkew", "localSkew", "level{2,7}")
 	net.Every(40, func(t float64) {
 		lvl := net.Core().EdgeLevel(watched.u, watched.v)
 		lvlStr := fmt.Sprintf("%d", lvl)
 		if lvl > 1<<30 {
 			lvlStr = "∞ (done)"
 		}
-		fmt.Printf("%8.0f %12.4f %12.4f %14s\n", t, net.GlobalSkew(), net.AdjacentSkew(), lvlStr)
+		fmt.Fprintf(w, "%8.0f %12.4f %12.4f %14s\n", t, net.GlobalSkew(), net.AdjacentSkew(), lvlStr)
 	})
 	net.RunFor(400)
+	if watchErr != nil {
+		return fmt.Errorf("adding watched edge: %w", watchErr)
+	}
 
 	c := net.Core()
-	fmt.Printf("\nhandshakes completed: %d, aborted by churn: %d, trigger conflicts: %d\n",
+	fmt.Fprintf(w, "\nhandshakes completed: %d, aborted by churn: %d, trigger conflicts: %d\n",
 		c.Insertions, c.HandshakeAborts, c.TriggerConflicts)
-	fmt.Println("edges always enter at long path levels first (small s), protecting short-path guarantees (Section 4.2)")
+	fmt.Fprintln(w, "edges always enter at long path levels first (small s), protecting short-path guarantees (Section 4.2)")
+	return nil
 }

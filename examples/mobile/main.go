@@ -6,7 +6,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
+	"os"
 
 	gradsync "repro"
 )
@@ -60,6 +62,13 @@ func (w *world) refresh() {
 }
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mobile:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer) error {
 	// Start everyone in a block of adjacent cells so the graph begins
 	// connected, as the model requires.
 	var edges [][2]int
@@ -67,12 +76,12 @@ func main() {
 	for i := range cell {
 		cell[i] = (i / 2) % nCells
 	}
-	w := &world{rng: rand.New(rand.NewSource(3)), cell: cell, up: map[[2]int]bool{}}
+	wld := &world{rng: rand.New(rand.NewSource(3)), cell: cell, up: map[[2]int]bool{}}
 	for a := 0; a < nNodes; a++ {
 		for b := a + 1; b < nNodes; b++ {
-			if w.near(a, b) {
+			if wld.near(a, b) {
 				edges = append(edges, [2]int{a, b})
-				w.up[pairKey(a, b)] = true
+				wld.up[pairKey(a, b)] = true
 			}
 		}
 	}
@@ -83,35 +92,36 @@ func main() {
 		Seed:     3,
 	})
 	if err != nil {
-		panic(err)
+		return err
 	}
-	w.net = net
+	wld.net = net
 
 	// Every few time units one node hops to a neighboring cell, but nodes 0
 	// and 1 travel together the whole time.
 	net.Every(4, func(float64) {
-		mover := 2 + w.rng.Intn(nNodes-2)
+		mover := 2 + wld.rng.Intn(nNodes-2)
 		step := 1
-		if w.rng.Intn(2) == 0 {
+		if wld.rng.Intn(2) == 0 {
 			step = nCells - 1
 		}
-		w.cell[mover] = (w.cell[mover] + step) % nCells
-		w.refresh()
+		wld.cell[mover] = (wld.cell[mover] + step) % nCells
+		wld.refresh()
 	})
 
-	fmt.Println("10 mobile nodes on a ring of cells; nodes 0 and 1 travel together")
-	fmt.Printf("%8s %12s %16s\n", "t", "globalSkew", "skew(0,1)")
+	fmt.Fprintln(w, "10 mobile nodes on a ring of cells; nodes 0 and 1 travel together")
+	fmt.Fprintf(w, "%8s %12s %16s\n", "t", "globalSkew", "skew(0,1)")
 	worstPair := 0.0
 	net.Every(60, func(t float64) {
 		s := net.SkewBetween(0, 1)
 		if s > worstPair {
 			worstPair = s
 		}
-		fmt.Printf("%8.0f %12.4f %16.4f\n", t, net.GlobalSkew(), s)
+		fmt.Fprintf(w, "%8.0f %12.4f %16.4f\n", t, net.GlobalSkew(), s)
 	})
 	net.RunFor(600)
 
-	fmt.Printf("\ncompanion nodes stayed within %.4f (gradient bound for their stable edge: %.3f)\n",
+	fmt.Fprintf(w, "\ncompanion nodes stayed within %.4f (gradient bound for their stable edge: %.3f)\n",
 		worstPair, net.GradientBoundHops(1))
-	fmt.Println("edges elsewhere churned constantly; the insertion protocol absorbed every transition")
+	fmt.Fprintln(w, "edges elsewhere churned constantly; the insertion protocol absorbed every transition")
+	return nil
 }

@@ -4,29 +4,39 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	gradsync "repro"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer) error {
 	net, err := gradsync.New(gradsync.Config{
 		Topology: gradsync.LineTopology(16),
 		Drift:    gradsync.TwoGroupDrift(8), // half the clocks fast, half slow
 		Seed:     42,
 	})
 	if err != nil {
-		panic(err)
+		return err
 	}
 
-	fmt.Printf("16-node line, κ=%.3f, σ=%.1f, G̃=%.2f\n", net.Kappa(), net.Sigma(), net.GTilde())
-	fmt.Printf("gradient bound for adjacent nodes: %.3f\n\n", net.GradientBoundHops(1))
-	fmt.Printf("%8s %12s %12s\n", "t", "globalSkew", "localSkew")
+	fmt.Fprintf(w, "16-node line, κ=%.3f, σ=%.1f, G̃=%.2f\n", net.Kappa(), net.Sigma(), net.GTilde())
+	fmt.Fprintf(w, "gradient bound for adjacent nodes: %.3f\n\n", net.GradientBoundHops(1))
+	fmt.Fprintf(w, "%8s %12s %12s\n", "t", "globalSkew", "localSkew")
 
 	for i := 0; i < 10; i++ {
 		net.RunFor(60)
-		fmt.Printf("%8.0f %12.4f %12.4f\n", net.Now(), net.GlobalSkew(), net.AdjacentSkew())
+		fmt.Fprintf(w, "%8.0f %12.4f %12.4f\n", net.Now(), net.GlobalSkew(), net.AdjacentSkew())
 	}
 
-	fmt.Printf("\nglobal stays ≈ D(t)+ι ≪ G̃=%.2f; adjacent stays ≪ the gradient bound %.3f\n",
+	fmt.Fprintf(w, "\nglobal stays ≈ D(t)+ι ≪ G̃=%.2f; adjacent stays ≪ the gradient bound %.3f\n",
 		net.GTilde(), net.GradientBoundHops(1))
+	return nil
 }

@@ -11,6 +11,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/drift"
@@ -21,6 +23,13 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rbs:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer) error {
 	const (
 		n   = 7
 		rho = 0.1 / 60
@@ -36,7 +45,7 @@ func main() {
 		Seed:  21,
 	})
 	if err != nil {
-		panic(err)
+		return err
 	}
 
 	// A noisy radio: large delay uncertainty, which would dominate the
@@ -51,7 +60,7 @@ func main() {
 				if u < v && !seen[id] {
 					seen[id] = true
 					if err := rt.Dyn.DeclareLink(u, v, radio); err != nil {
-						panic(err)
+						return err
 					}
 				}
 			}
@@ -67,30 +76,30 @@ func main() {
 			TickSlop: 0.04,
 		})
 	if err != nil {
-		panic(err)
+		return err
 	}
 	rt.SetEstimator(rbs)
 	rt.Attach(algo)
 	for id := range seen {
 		if err := rt.Dyn.AppearInstant(id.U, id.V); err != nil {
-			panic(err)
+			return err
 		}
 	}
 	rbs.Start()
 	if err := rt.Start(); err != nil {
-		panic(err)
+		return err
 	}
 
 	// What the message layer would certify on this radio, for contrast.
 	msg := estimate.NewMessaging(n, rt.Dyn, rt.Hardware, estimate.MessagingConfig{
 		Rho: rho, Mu: mu, BeaconInterval: 0.25, TickSlop: 0.04, Centered: true,
 	})
-	fmt.Printf("radio with delay 0.5±0.4: messaging ε = %.3f, RBS ε = %.3f (%.1f× tighter)\n",
+	fmt.Fprintf(w, "radio with delay 0.5±0.4: messaging ε = %.3f, RBS ε = %.3f (%.1f× tighter)\n",
 		msg.Eps(0, 1), rbs.Eps(0, 1), msg.Eps(0, 1)/rbs.Eps(0, 1))
-	fmt.Printf("resulting edge weight κ: messaging %.3f vs RBS %.3f\n\n",
+	fmt.Fprintf(w, "resulting edge weight κ: messaging %.3f vs RBS %.3f\n\n",
 		1.1*4*(msg.Eps(0, 1)+mu*radio.Tau), algo.EdgeKappa(0, 1))
 
-	fmt.Printf("%8s %12s %14s\n", "t", "globalSkew", "worstPairSkew")
+	fmt.Fprintf(w, "%8s %12s %14s\n", "t", "globalSkew", "worstPairSkew")
 	for i := 0; i < 6; i++ {
 		rt.Run(rt.Engine.Now() + 50)
 		worst, spread := 0.0, 0.0
@@ -114,8 +123,9 @@ func main() {
 				worst = s
 			}
 		}
-		fmt.Printf("%8.0f %12.4f %14.4f\n", rt.Engine.Now(), spread, worst)
+		fmt.Fprintf(w, "%8.0f %12.4f %14.4f\n", rt.Engine.Now(), spread, worst)
 	}
-	fmt.Printf("\nbroadcasts emitted: %d; trigger conflicts: %d\n", rbs.Broadcasts, algo.TriggerConflicts)
-	fmt.Println("estimate edges exist wherever nodes hear a common reference — no direct link required (§3.1)")
+	fmt.Fprintf(w, "\nbroadcasts emitted: %d; trigger conflicts: %d\n", rbs.Broadcasts, algo.TriggerConflicts)
+	fmt.Fprintln(w, "estimate edges exist wherever nodes hear a common reference — no direct link required (§3.1)")
+	return nil
 }

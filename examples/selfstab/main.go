@@ -6,13 +6,22 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
+	"os"
 	"strings"
 
 	gradsync "repro"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "selfstab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer) error {
 	const (
 		n      = 16
 		spread = 12.0
@@ -32,23 +41,24 @@ func main() {
 		Seed:          9,
 	})
 	if err != nil {
-		panic(err)
+		return err
 	}
 
 	theory := mu*(1-rho) - 2*rho
-	fmt.Printf("ring of %d nodes, clocks corrupted across a spread of %.1f\n", n, spread)
-	fmt.Printf("theorem drain rate: µ(1−ρ)−2ρ = %.4f per time unit\n\n", theory)
-	fmt.Printf("%8s %12s  %s\n", "t", "globalSkew", "")
+	fmt.Fprintf(w, "ring of %d nodes, clocks corrupted across a spread of %.1f\n", n, spread)
+	fmt.Fprintf(w, "theorem drain rate: µ(1−ρ)−2ρ = %.4f per time unit\n\n", theory)
+	fmt.Fprintf(w, "%8s %12s  %s\n", "t", "globalSkew", "")
 
 	net.Every(10, func(t float64) {
 		g := net.GlobalSkew()
-		fmt.Printf("%8.0f %12.4f  %s\n", t, g, strings.Repeat("#", int(g/spread*60)))
+		fmt.Fprintf(w, "%8.0f %12.4f  %s\n", t, g, strings.Repeat("#", int(g/spread*60)))
 	})
 	horizon := spread/theory + 40
 	net.RunFor(horizon)
 
-	fmt.Printf("\nfinal global skew: %.4f; expected full drain after ≈ %.0f time units\n",
+	fmt.Fprintf(w, "\nfinal global skew: %.4f; expected full drain after ≈ %.0f time units\n",
 		net.GlobalSkew(), spread/theory)
-	fmt.Printf("final adjacent skew: %.4f (gradient bound %.3f)\n",
+	fmt.Fprintf(w, "final adjacent skew: %.4f (gradient bound %.3f)\n",
 		net.AdjacentSkew(), net.GradientBoundHops(1))
+	return nil
 }

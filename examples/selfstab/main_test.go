@@ -1,0 +1,18 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRunSmoke executes the demo end to end and checks it reports
+// something and exits cleanly.
+func TestRunSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("demo produced no output")
+	}
+}

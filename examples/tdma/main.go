@@ -14,6 +14,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	gradsync "repro"
 )
@@ -67,6 +69,13 @@ func countCollisions(net *gradsync.Network, horizon, guard float64, skipPair int
 }
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tdma:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer) error {
 	// Phase 1: steady state under drift — AOPT's local skew bound sizes the
 	// guard interval, and the schedule stays collision-free.
 	net, err := gradsync.New(gradsync.Config{
@@ -75,13 +84,13 @@ func main() {
 		Seed:     7,
 	})
 	if err != nil {
-		panic(err)
+		return err
 	}
 	guard := net.GradientBoundHops(1) / 2
-	fmt.Printf("TDMA over a %d-node line: slot %.0fs, guard sized from the gradient bound: %.2f\n",
+	fmt.Fprintf(w, "TDMA over a %d-node line: slot %.0fs, guard sized from the gradient bound: %.2f\n",
 		nNodes, slotLen, guard)
 	c, _ := countCollisions(net, 600, guard, -1)
-	fmt.Printf("AOPT, steady state: %d collisions in 600 time units\n", c)
+	fmt.Fprintf(w, "AOPT, steady state: %d collisions in 600 time units\n", c)
 
 	// Phase 2: two deployments with offset clocks merge. The new link is
 	// excluded from the schedule until its stabilization period passes, but
@@ -89,7 +98,7 @@ func main() {
 	// can push old neighbors apart beyond the guard. AOPT's gradient bound
 	// says no; max-propagation's jump wave says yes (by the full offset).
 	const offset = 13.0
-	merged := func(algo gradsync.Algo, name string) {
+	merged := func(algo gradsync.Algo, name string) error {
 		var edges [][2]int
 		k := nNodes / 2
 		for i := 0; i+1 < nNodes; i++ {
@@ -108,22 +117,32 @@ func main() {
 			Seed:          7,
 		})
 		if err != nil {
-			panic(err)
+			return err
 		}
+		var mergeErr error
 		net.At(5, func(float64) {
 			if err := net.AddEdge(k-1, k); err != nil {
-				panic(err)
+				mergeErr = err
 			}
 		})
 		c, worst := countCollisions(net, offset/0.04+60, guard, k-1)
+		if mergeErr != nil {
+			return fmt.Errorf("merge edge: %w", mergeErr)
+		}
 		verdict := "schedule guarantees hold"
 		if worst > guard {
 			verdict = "guard breached — collisions possible at any slot phase"
 		}
-		fmt.Printf("%-16s after merge: worst old-edge skew %.3f vs guard %.2f, %d collision samples → %s\n",
+		fmt.Fprintf(w, "%-16s after merge: worst old-edge skew %.3f vs guard %.2f, %d collision samples → %s\n",
 			name, worst, guard, c, verdict)
+		return nil
 	}
-	merged(gradsync.AOPT(), "AOPT")
-	merged(gradsync.MaxSyncAlgo(), "max-propagation")
-	fmt.Println("\nthe gradient guarantee is exactly what TDMA needs: neighbors stay aligned even while global skew is large")
+	if err := merged(gradsync.AOPT(), "AOPT"); err != nil {
+		return err
+	}
+	if err := merged(gradsync.MaxSyncAlgo(), "max-propagation"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nthe gradient guarantee is exactly what TDMA needs: neighbors stay aligned even while global skew is large")
+	return nil
 }

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestReplicatedDeterministicAcrossParallelism is the determinism
+// regression net for the sweep layer: the same root seed must yield
+// byte-identical reports whether replicas run on one worker or eight, and
+// across repeated runs. The subset covers the runner structures: a direct
+// per-size net (E01), the merge scenario with three algorithms sharing an
+// adversary (E05), an auxiliary corruption RNG (E08), and a two-table
+// result (E12).
+func TestReplicatedDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replicated runs take a few seconds")
+	}
+	for _, entry := range All() {
+		switch entry.ID {
+		case "E01", "E05", "E08", "E12":
+		default:
+			continue
+		}
+		entry := entry
+		t.Run(entry.ID, func(t *testing.T) {
+			t.Parallel()
+			spec := Spec{Quick: true, Seed: 1, Seeds: 3}
+
+			spec.Parallelism = 1
+			serial := RunReplicated(entry.Run, spec).String()
+			serialAgain := RunReplicated(entry.Run, spec).String()
+			if serial != serialAgain {
+				t.Fatalf("%s: two serial runs with the same root seed differ", entry.ID)
+			}
+
+			spec.Parallelism = 8
+			parallel := RunReplicated(entry.Run, spec).String()
+			if parallel != serial {
+				t.Errorf("%s: parallel=8 output differs from parallel=1:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					entry.ID, serial, parallel)
+			}
+		})
+	}
+}
+
+// TestReplicatedAllExperimentsMultiSeed runs the whole suite across two
+// derived adversary draws: the shape claims are worst-case statements and
+// must hold for every seed the sweep engine can hand a replica.
+func TestReplicatedAllExperimentsMultiSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replicated suite takes a few seconds")
+	}
+	for _, entry := range All() {
+		entry := entry
+		t.Run(entry.ID, func(t *testing.T) {
+			t.Parallel()
+			res := RunReplicated(entry.Run, Spec{Quick: true, Seed: 42, Seeds: 2, Parallelism: 4})
+			if !res.Pass {
+				t.Errorf("%s failed across seeds: %v", res.ID, res.Failures)
+			}
+			if res.Table == nil || len(res.Table.Rows) == 0 {
+				t.Errorf("%s produced no aggregated rows", res.ID)
+			}
+		})
+	}
+}

@@ -28,7 +28,7 @@ func E01GlobalSkew(spec Spec) *Result {
 		net := gradsync.MustNew(gradsync.Config{
 			Topology: gradsync.LineTopology(n),
 			Drift:    gradsync.TwoGroupDrift(n / 2),
-			Seed:     spec.Seed + int64(n),
+			Seed:     spec.SeedFor(int64(n)),
 		})
 		rho := 0.1 / 60 // facade default: ρ = µ/60 with µ = 0.1
 		global := &metrics.Series{Name: "global"}

@@ -65,7 +65,7 @@ func E02GradientSkew(spec Spec) *Result {
 	// Probe run to learn κ and the baseline G̃ (without initial skew).
 	probe := gradsync.MustNew(gradsync.Config{
 		Topology: gradsync.LineTopology(n),
-		Seed:     spec.Seed,
+		Seed:     spec.SeedFor(0),
 	})
 	kappa := probe.Kappa()
 	env := legalEnvelope(n, func(h int) float64 { return probe.GradientBound(float64(h) * kappa) })
@@ -78,7 +78,7 @@ func E02GradientSkew(spec Spec) *Result {
 		Topology:      gradsync.LineTopology(n),
 		Drift:         gradsync.TwoGroupDrift(n / 2),
 		InitialClocks: init,
-		Seed:          spec.Seed,
+		Seed:          spec.SeedFor(1),
 	})
 
 	maxByDist := make(map[int]float64)

@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-
 	gradsync "repro"
 	"repro/internal/metrics"
 )
@@ -30,7 +28,7 @@ func E03LocalSkewVsD(spec Spec) *Result {
 	for _, n := range ns {
 		offset := 0.25 * float64(n)
 		run := func(algo gradsync.Algo) (float64, *gradsync.Network) {
-			out, err := runMerge(n, offset, algo, spec.Seed+int64(n), offset/0.04+60)
+			out, err := runMerge(n, offset, algo, spec.SeedFor(int64(n)), offset/0.04+60)
 			if err != nil {
 				r.failf("n=%d: %v", n, err)
 				return 0, nil
@@ -62,9 +60,9 @@ func E03LocalSkewVsD(spec Spec) *Result {
 	// The discriminating shape: AOPT's old-edge skew stays a small fraction
 	// of the offset at every size (log vs linear), while max-propagation
 	// tracks the offset itself.
-	r.assert(aoptVals[last] <= 0.25*offsets[last], fmt.Sprintf(
+	r.assert(aoptVals[last] <= 0.25*offsets[last],
 		"AOPT old-edge skew %.3f is a large fraction of the offset %.3f; should stay ~log D",
-		aoptVals[last], offsets[last]))
+		aoptVals[last], offsets[last])
 	r.Notef("old edges: AOPT stays under the log-shaped bound; max-propagation transiently carries ~the full offset")
 	return r
 }

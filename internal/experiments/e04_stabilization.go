@@ -31,7 +31,7 @@ func E04Stabilization(spec Spec) *Result {
 	var xs, ys []float64
 	for _, n := range ns {
 		offset := 1.0 * float64(n) // well above the one-hop gradient threshold
-		out, err := runMerge(n, offset, gradsync.AOPT(), spec.Seed+int64(n), offset/0.04+80)
+		out, err := runMerge(n, offset, gradsync.AOPT(), spec.SeedFor(int64(n)), offset/0.04+80)
 		if err != nil {
 			r.failf("n=%d: %v", n, err)
 			continue

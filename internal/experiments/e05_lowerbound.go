@@ -30,17 +30,17 @@ func E05LowerBound(spec Spec) *Result {
 		offset := 1.0 * float64(n) // well above the one-hop gradient threshold
 		horizon := offset/0.04 + 80
 
-		aopt, err := runMerge(n, offset, gradsync.AOPT(), spec.Seed+int64(n), horizon)
+		aopt, err := runMerge(n, offset, gradsync.AOPT(), spec.SeedFor(int64(n)), horizon)
 		if err != nil {
 			r.failf("n=%d aopt: %v", n, err)
 			continue
 		}
-		block, err := runMerge(n, offset, gradsync.BlockSyncAlgo(2), spec.Seed+int64(n), horizon)
+		block, err := runMerge(n, offset, gradsync.BlockSyncAlgo(2), spec.SeedFor(int64(n)), horizon)
 		if err != nil {
 			r.failf("n=%d block: %v", n, err)
 			continue
 		}
-		maxs, err := runMerge(n, offset, gradsync.MaxSyncAlgo(), spec.Seed+int64(n), horizon)
+		maxs, err := runMerge(n, offset, gradsync.MaxSyncAlgo(), spec.SeedFor(int64(n)), horizon)
 		if err != nil {
 			r.failf("n=%d maxsync: %v", n, err)
 			continue

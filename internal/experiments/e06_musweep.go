@@ -32,7 +32,7 @@ func E06MuSweep(spec Spec) *Result {
 			Mu:            mu,
 			Rho:           rho,
 			InitialClocks: ramp(n, 0.4),
-			Seed:          spec.Seed,
+			Seed:          spec.SeedFor(0),
 		})
 		global := &metrics.Series{}
 		net.Every(0.5, func(t float64) { global.Add(t, net.GlobalSkew()) })

@@ -28,11 +28,11 @@ func E07Churn(spec Spec) *Result {
 	net := gradsync.MustNew(gradsync.Config{
 		Topology: gradsync.LineTopology(n),
 		Drift:    gradsync.FlipDrift(30),
-		Seed:     spec.Seed,
+		Seed:     spec.SeedFor(0),
 	})
 
 	// Chord pool: random non-line pairs toggled by a local deterministic RNG.
-	rng := rand.New(rand.NewSource(spec.Seed + 99))
+	rng := rand.New(rand.NewSource(spec.SeedFor(99)))
 	type chord struct{ u, v int }
 	var pool []chord
 	for u := 0; u < n; u++ {

@@ -33,7 +33,7 @@ func E08SelfStab(spec Spec) *Result {
 		"S", "measDrain", "theoryDrain", "drainRatio", "tLegal", "tLegal·rate/S")
 
 	for _, spread := range spreads {
-		rng := rand.New(rand.NewSource(spec.Seed + int64(spread)))
+		rng := rand.New(rand.NewSource(spec.SeedFor(int64(spread))))
 		init := make([]float64, n)
 		for i := range init {
 			init[i] = rng.Float64() * spread
@@ -46,7 +46,7 @@ func E08SelfStab(spec Spec) *Result {
 			Topology:      gradsync.LineTopology(n),
 			InitialClocks: init,
 			Drift:         gradsync.TwoGroupDrift(n / 2),
-			Seed:          spec.Seed,
+			Seed:          spec.SeedFor(0),
 		})
 		global := &metrics.Series{}
 		legal := &metrics.Series{}

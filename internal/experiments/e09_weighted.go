@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-
 	"repro/internal/core"
 	"repro/internal/drift"
 	"repro/internal/estimate"
@@ -38,7 +36,7 @@ func E09Weighted(spec Spec) *Result {
 		N: n, Tick: 0.02, BeaconInterval: 0.25,
 		Drift: drift.TwoGroup{Rho: rho, Split: n / 2},
 		Delay: transport.RandomDelay{},
-		Seed:  spec.Seed,
+		Seed:  spec.SeedFor(0),
 	})
 	if err != nil {
 		r.failf("runtime: %v", err)
@@ -57,7 +55,7 @@ func E09Weighted(spec Spec) *Result {
 	}
 	algo := core.MustNew(core.Params{Rho: rho, Mu: mu, GTilde: gTilde})
 	rt.SetEstimator(estimate.NewOracle(rt.Dyn, func(u int) float64 { return algo.Logical(u) },
-		estimate.RandomError{RNG: sim.NewRNG(spec.Seed + 1)}))
+		estimate.RandomError{RNG: sim.NewRNG(spec.SeedFor(1))}))
 	rt.Attach(algo)
 
 	// Legal initial ramp: each edge starts at 60% of twice its weight
@@ -126,6 +124,6 @@ func E09Weighted(spec Spec) *Result {
 		"heavy edges (κ=%.2f) did not carry more skew (%.3f) than light ones (%.3f)", kHeavy, maxHeavy, maxLight)
 	r.assert(worstRatio <= 1.0, "weighted pairwise gradient check violated: ratio %.3f", worstRatio)
 	r.assert(algo.TriggerConflicts == 0, "trigger conflicts: %d", algo.TriggerConflicts)
-	r.Notef(fmt.Sprintf("worst weighted pair ratio %.3f (≤ 1 required); per-κ normalized skews are comparable across classes", worstRatio))
+	r.Notef("worst weighted pair ratio %.3f (≤ 1 required); per-κ normalized skews are comparable across classes", worstRatio)
 	return r
 }

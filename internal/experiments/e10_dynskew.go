@@ -30,7 +30,7 @@ func E10DynamicEstimates(spec Spec) *Result {
 		Topology:      gradsync.LineTopology(n),
 		Algorithm:     gradsync.AOPTDynamicSkewB(1.5, bSmall),
 		InitialClocks: ramp(n, spread0/float64(n-1)),
-		Seed:          spec.Seed,
+		Seed:          spec.SeedFor(0),
 	})
 
 	// Edge A appears while the corrupted skew is still large.

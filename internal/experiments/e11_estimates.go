@@ -25,7 +25,7 @@ func E11EstimateLayer(spec Spec) *Result {
 			Estimates:      MessagingUncentered(),
 			Drift:          gradsync.SinusoidDrift(20),
 			BeaconInterval: interval,
-			Seed:           spec.Seed,
+			Seed:           spec.SeedFor(0),
 		})
 		rt := net.Runtime()
 		eps := net.EpsEffective()

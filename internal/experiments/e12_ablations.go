@@ -41,7 +41,7 @@ func E12Ablations(spec Spec) *Result {
 		"insertion", "worstPairRatio", "violates")
 	var ratios []float64
 	for _, f := range factors {
-		worst := worstPairRatioDuringMerge(n, offset, f.algo, spec.Seed)
+		worst := worstPairRatioDuringMerge(n, offset, f.algo, spec.SeedFor(0))
 		r.Table.AddRow(f.name, worst, worst > 1)
 		ratios = append(ratios, worst)
 	}
@@ -59,7 +59,7 @@ func E12Ablations(spec Spec) *Result {
 			N: 6, Tick: 0.02, BeaconInterval: 0.25,
 			Drift: drift.TwoGroup{Rho: 0.1 / 60, Split: 3},
 			Delay: transport.RandomDelay{},
-			Seed:  spec.Seed,
+			Seed:  spec.SeedFor(1),
 		})
 		if err != nil {
 			r.failf("runtime: %v", err)

@@ -38,14 +38,14 @@ func E13InsertionStrategies(spec Spec) *Result {
 		offset := 1.0 * float64(n)
 		k := n / 2
 		for _, st := range strategies {
-			out, err := runMerge(n, offset, st.algo, spec.Seed+int64(n), offset/0.04+120)
+			out, err := runMerge(n, offset, st.algo, spec.SeedFor(int64(n)), offset/0.04+120)
 			if err != nil {
 				r.failf("n=%d %s: %v", n, st.name, err)
 				continue
 			}
 			threshold := out.net.GradientBoundHops(1)
 			tStab := out.stabilizedAt(threshold, 20)
-			worstOld := worstPairRatioDuringMerge(n, offset, st.algo, spec.Seed+int64(n))
+			worstOld := worstPairRatioDuringMerge(n, offset, st.algo, spec.SeedFor(int64(n)))
 			full := levelName(out.net.Core().EdgeLevel(k-1, k))
 			r.Table.AddRow(n, offset, st.name, tStab, worstOld, full)
 

@@ -1,9 +1,10 @@
 // Package experiments contains the reproduction harness: one runner per
 // claim of the paper (the "tables and figures" of this theory paper are its
-// theorems; see DESIGN.md for the experiment index E1–E12). Every runner
-// returns a table of paper-bound vs measured rows plus a pass/fail shape
-// verdict, and is invoked both from the benchmarks in bench_test.go and
-// from cmd/experiments.
+// theorems; see EXPERIMENTS.md for the experiment index E01–E13). Every
+// runner returns a table of paper-bound vs measured rows plus a pass/fail
+// shape verdict, and is invoked both from the benchmarks in bench_test.go
+// and from cmd/experiments. RunReplicated wraps any runner to aggregate
+// independent adversary draws across a worker pool (internal/sweep).
 package experiments
 
 import (
@@ -11,14 +12,29 @@ import (
 	"strings"
 
 	"repro/internal/metrics"
+	"repro/internal/sweep"
 )
 
 // Spec sizes an experiment run.
 type Spec struct {
 	// Quick selects bench-sized runs (seconds); full runs otherwise.
 	Quick bool
-	// Seed feeds all randomness.
+	// Seed feeds all randomness. Under RunReplicated it is the root seed
+	// from which per-replica seeds are derived.
 	Seed int64
+	// Seeds is the number of independent adversary draws RunReplicated
+	// aggregates over; 0 or 1 means a single plain run.
+	Seeds int
+	// Parallelism bounds the replica worker pool (0 = GOMAXPROCS). It
+	// affects wall-clock time only, never results.
+	Parallelism int
+}
+
+// SeedFor derives the deterministic sub-seed for one component of an
+// experiment (a swept network size, an auxiliary RNG, …), replacing ad hoc
+// `Seed + offset` arithmetic with well-separated streams.
+func (s Spec) SeedFor(parts ...int64) int64 {
+	return sweep.Derive(s.Seed, parts...)
 }
 
 // Result is the outcome of one experiment.

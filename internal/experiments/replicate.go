@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sweep"
+)
+
+// RunReplicated runs one experiment Spec.Seeds times over independent
+// adversary draws (drift phases, delay draws, topology randomness) on a
+// bounded worker pool and aggregates the replicas into one Result: table
+// cells that vary across seeds become "mean±std", the verdict is the
+// conjunction of all replica verdicts, and failures carry the replica seed
+// that produced them.
+//
+// Replica seeds are derived from the root seed by index, replicas land in
+// an index-addressed slice, and aggregation folds them in index order —
+// so the output is byte-identical for every Spec.Parallelism, and a
+// failure can be reproduced single-threaded from the same root seed.
+//
+// Seeds ≤ 1 is a plain run(spec): single-seed callers (the tier-1 tests,
+// default CLI invocations) see exactly the historical behavior.
+func RunReplicated(run Runner, spec Spec) *Result {
+	if spec.Seeds <= 1 {
+		return run(spec)
+	}
+	seeds := sweep.Seeds(spec.Seed, spec.Seeds)
+	results := sweep.Map(spec.Seeds, spec.Parallelism, func(i int) *Result {
+		rs := spec
+		rs.Seed = seeds[i]
+		rs.Seeds = 0
+		rs.Parallelism = 0
+		return run(rs)
+	})
+	return mergeReplicas(results, seeds, spec)
+}
+
+// mergeReplicas folds per-replica results in index order into one Result.
+func mergeReplicas(results []*Result, seeds []int64, spec Spec) *Result {
+	first := results[0]
+	agg := &Result{ID: first.ID, Claim: first.Claim, Pass: true}
+	tables := make([]*metrics.Table, len(results))
+	tables2 := make([]*metrics.Table, len(results))
+	for i, r := range results {
+		tables[i] = r.Table
+		tables2[i] = r.Table2
+		if !r.Pass {
+			agg.Pass = false
+			for _, f := range r.Failures {
+				agg.Failures = append(agg.Failures,
+					fmt.Sprintf("replica %d (seed %d): %s", i, seeds[i], f))
+			}
+		}
+	}
+	agg.Table = sweep.Tables(tables)
+	agg.Table2 = sweep.Tables(tables2)
+	// Some notes restate the claim under test (verbatim across replicas);
+	// others embed per-seed measurements. Keep shared notes as-is and mark
+	// measurement-bearing ones with the replica they came from, so no
+	// information silently disappears from the aggregated report.
+	for ni, n := range first.Notes {
+		shared := true
+		for _, r := range results[1:] {
+			if ni >= len(r.Notes) || r.Notes[ni] != n {
+				shared = false
+				break
+			}
+		}
+		if shared {
+			agg.Notes = append(agg.Notes, n)
+		} else {
+			agg.Notes = append(agg.Notes, fmt.Sprintf("%s [replica 0 of %d; varies per seed]", n, len(results)))
+		}
+	}
+	agg.Notef("aggregated over %d seeds derived from root seed %d (varying cells: mean±std)",
+		len(results), spec.Seed)
+	return agg
+}

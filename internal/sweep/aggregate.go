@@ -1,0 +1,84 @@
+package sweep
+
+import (
+	"strconv"
+
+	"repro/internal/metrics"
+)
+
+// Tables merges per-replica result tables of identical shape into one
+// aggregated table. Cells that are byte-identical across replicas (swept
+// parameters, verdict strings, analytically derived bounds) keep their
+// original rendering; numeric cells that vary become "mean±std"; varying
+// non-numeric cells collapse to "·". Replicas are folded in index order,
+// so the output does not depend on how they were scheduled.
+//
+// Ragged inputs are clipped to the common prefix of rows and columns; the
+// harness only produces congruent tables, so clipping is a safety net, not
+// a code path experiments rely on.
+func Tables(reps []*metrics.Table) *metrics.Table {
+	var live []*metrics.Table
+	for _, t := range reps {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	first := live[0]
+	if len(live) == 1 {
+		return first
+	}
+	out := &metrics.Table{Title: first.Title, Columns: first.Columns}
+	rows := len(first.Rows)
+	for _, t := range live[1:] {
+		if len(t.Rows) < rows {
+			rows = len(t.Rows)
+		}
+	}
+	for ri := 0; ri < rows; ri++ {
+		cols := len(first.Rows[ri])
+		for _, t := range live[1:] {
+			if len(t.Rows[ri]) < cols {
+				cols = len(t.Rows[ri])
+			}
+		}
+		row := make([]string, cols)
+		for ci := 0; ci < cols; ci++ {
+			row[ci] = mergeCell(live, ri, ci)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// mergeCell aggregates one cell position across replicas.
+func mergeCell(reps []*metrics.Table, ri, ci int) string {
+	cell0 := reps[0].Rows[ri][ci]
+	identical := true
+	vals := make([]float64, 0, len(reps))
+	numeric := true
+	for _, t := range reps {
+		c := t.Rows[ri][ci]
+		if c != cell0 {
+			identical = false
+		}
+		if numeric {
+			v, err := strconv.ParseFloat(c, 64)
+			if err != nil {
+				numeric = false
+			} else {
+				vals = append(vals, v)
+			}
+		}
+	}
+	switch {
+	case identical:
+		return cell0
+	case numeric:
+		return Summarize(vals).String()
+	default:
+		return "·"
+	}
+}
