@@ -2,12 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test race bench suite ci
+.PHONY: all build vet test race bench bench-json suite ci
 
 all: build test
 
 build:
 	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
 
 test:
 	$(GO) test ./...
@@ -21,8 +24,17 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
+# Archives the hot-path and sweep-engine benchmarks as a JSON perf record
+# (the repo's perf trajectory): substrate micro-benchmarks at full
+# precision, the multi-seed sweep engine at one pass per pool size.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkCoreStep|BenchmarkBlockSyncStep|BenchmarkNeighbors' -benchmem ./internal/core ./internal/baselines ./internal/topo > BENCH_raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkSweep|BenchmarkSimulationStep' -benchmem -benchtime=1x . >> BENCH_raw.txt
+	$(GO) run ./cmd/benchjson -out BENCH_sweep.json < BENCH_raw.txt
+	rm -f BENCH_raw.txt
+
 # The full reproduction report with multi-seed aggregation.
 suite:
 	$(GO) run ./cmd/experiments -seeds 8 -parallel 8
 
-ci: build test race
+ci: build vet test race

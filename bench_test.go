@@ -109,6 +109,10 @@ func BenchmarkE13InsertionStrategies(b *testing.B) {
 	benchExperiment(b, experiments.E13InsertionStrategies)
 }
 
+func BenchmarkE14ScenarioMatrix(b *testing.B) {
+	benchExperiment(b, experiments.E14ScenarioMatrix)
+}
+
 // BenchmarkSweepReplicas measures the multi-seed sweep engine at several
 // worker-pool sizes on one experiment (8 replicas of E01 at bench scale).
 // The parallel=k/parallel=1 wall-clock ratio is the speedup headline; the

@@ -1,0 +1,119 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// benchmark record file, so benchmark runs can be archived and diffed as a
+// perf trajectory (see `make bench-json`, which emits BENCH_sweep.json).
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -out BENCH_sweep.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Record is one parsed benchmark result line.
+type Record struct {
+	Pkg         string  `json:"pkg"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+[\d.]+ MB/s)?(?:\s+([\d.]+) B/op\s+(\d+) allocs/op)?`)
+
+// procsSuffix is the machine-dependent -GOMAXPROCS suffix go test appends
+// to benchmark names; it is stripped so records key across machines.
+var procsSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_sweep.json", "output JSON file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	report, err := parse(stdin)
+	if err != nil {
+		return err
+	}
+	if len(report.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark result lines found on stdin")
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "benchjson: wrote %d records to %s\n", len(report.Benchmarks), *out)
+	return nil
+}
+
+// parse scans `go test -bench` output, tracking the current package from
+// the "pkg:" header lines the test binary prints per package.
+func parse(r io.Reader) (*Report, error) {
+	report := &Report{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if p, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(p)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q: %w", line, err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", line, err)
+		}
+		rec := Record{
+			Pkg:        pkg,
+			Name:       procsSuffix.ReplaceAllString(m[1], ""),
+			Iterations: iters,
+			NsPerOp:    ns,
+		}
+		if m[4] != "" {
+			if rec.BPerOp, err = strconv.ParseFloat(m[4], 64); err != nil {
+				return nil, fmt.Errorf("bad B/op in %q: %w", line, err)
+			}
+			if rec.AllocsPerOp, err = strconv.ParseInt(m[5], 10, 64); err != nil {
+				return nil, fmt.Errorf("bad allocs/op in %q: %w", line, err)
+			}
+		}
+		report.Benchmarks = append(report.Benchmarks, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return report, nil
+}

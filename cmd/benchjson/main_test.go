@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/core
+cpu: some cpu
+BenchmarkCoreStep 	  175795	      6696 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/core	2.5s
+pkg: repro
+BenchmarkSweepReplicas/parallel=8-8         	       1	 12345678 ns/op
+BenchmarkThroughput-8 	     100	     250 ns/op	  64.00 MB/s	      16 B/op	       1 allocs/op
+ok  	repro	1.2s
+`
+
+func TestParseAndWrite(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout bytes.Buffer
+	if err := run([]string{"-out", out}, strings.NewReader(sample), &stdout); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("read output: %v", err)
+	}
+	var report Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(report.Benchmarks) != 3 {
+		t.Fatalf("parsed %d records, want 3", len(report.Benchmarks))
+	}
+	first := report.Benchmarks[0]
+	if first.Pkg != "repro/internal/core" || first.Name != "BenchmarkCoreStep" {
+		t.Errorf("record 0 = %+v", first)
+	}
+	if first.Iterations != 175795 || first.NsPerOp != 6696 || first.AllocsPerOp != 0 {
+		t.Errorf("record 0 numbers = %+v", first)
+	}
+	second := report.Benchmarks[1]
+	if second.Pkg != "repro" || second.Name != "BenchmarkSweepReplicas/parallel=8" {
+		t.Errorf("record 1 = %+v (the -GOMAXPROCS suffix must be stripped)", second)
+	}
+	third := report.Benchmarks[2]
+	if third.Name != "BenchmarkThroughput" || third.BPerOp != 16 || third.AllocsPerOp != 1 {
+		t.Errorf("record 2 = %+v (memory stats must survive an MB/s column)", third)
+	}
+}
+
+func TestRejectsEmptyInput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout bytes.Buffer
+	if err := run([]string{"-out", out}, strings.NewReader("no benchmarks here\n"), &stdout); err == nil {
+		t.Fatal("expected an error for input without benchmark lines")
+	}
+}

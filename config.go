@@ -5,10 +5,16 @@ import (
 
 	"repro/internal/drift"
 	"repro/internal/estimate"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/transport"
 )
+
+// Scenario is a dynamic-network adversary installed on the running
+// simulation: topology churn, mobility, partitions. The composable
+// generator library lives in internal/scenario.
+type Scenario = runner.Scenario
 
 // Link holds the per-edge model parameters of Section 3.1 (all edges share
 // them unless a custom topology overrides per-edge links via AddEdgeWithLink).
@@ -25,7 +31,8 @@ type Link struct {
 
 // DefaultLink returns the unit conventions used throughout the experiments.
 func DefaultLink() Link {
-	return Link{Eps: 0.2, Tau: 0.1, Delay: 0.1, Uncertainty: 0.05}
+	p := topo.DefaultLinkParams()
+	return Link{Eps: p.Eps, Tau: p.Tau, Delay: p.Delay, Uncertainty: p.Uncertainty}
 }
 
 func (l Link) toTopo() topo.LinkParams {
@@ -286,6 +293,9 @@ type Config struct {
 	Drift Drift
 	// Delay is the message delay adversary; zero value → RandomDelays.
 	Delay Delay
+	// Scenario, when non-nil, drives dynamic-topology behavior (see
+	// internal/scenario); it is installed when the network starts.
+	Scenario Scenario
 	// Estimates selects the estimate layer; zero → OracleEstimates("random").
 	Estimates Estimates
 	// Tick is the integration step; 0 → 0.02.

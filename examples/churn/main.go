@@ -1,16 +1,17 @@
 // Churn: the fully dynamic setting — chord edges appear and disappear on
 // top of a stable backbone while the gradient guarantee holds on everything
 // that has been around long enough. Also shows the insertion protocol's
-// neighbor-set levels climbing on a watched edge.
+// neighbor-set levels climbing on a watched edge. All dynamics come from
+// the composable scenario library (internal/scenario).
 package main
 
 import (
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
 
 	gradsync "repro"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -22,61 +23,30 @@ func main() {
 
 func run(w io.Writer) error {
 	const n = 12
+	// The declared ring is the protected core; the churn process toggles
+	// only undeclared chords. A scripted add raises the watched edge so the
+	// demo can show its neighbor-set levels climbing (re-adding it is a
+	// no-op if the churn process got there first).
+	watched := [2]int{2, 7}
+	churn := &scenario.Churn{Every: 8}
+	watch := scenario.NewScript(scenario.AddAt(20, watched[0], watched[1]))
 	net, err := gradsync.New(gradsync.Config{
 		Topology: gradsync.RingTopology(n),
 		Drift:    gradsync.LinearDrift(),
 		// A fast custom insertion duration so full insertions are visible
 		// within the demo's horizon (the paper's eq. 10 duration is ~320·G̃).
 		Algorithm: gradsync.AOPTCustomInsertion(3),
+		Scenario:  scenario.Compose(churn, watch),
 		Seed:      11,
 	})
 	if err != nil {
 		return err
 	}
 
-	rng := rand.New(rand.NewSource(11))
-	type chord struct{ u, v int }
-	var pool []chord
-	for u := 0; u < n; u++ {
-		for v := u + 2; v < n; v++ {
-			if u == 0 && v == n-1 {
-				continue // ring edge
-			}
-			pool = append(pool, chord{u, v})
-		}
-	}
-	up := map[chord]bool{}
-	net.Every(8, func(float64) {
-		c := pool[rng.Intn(len(pool))]
-		if up[c] {
-			if err := net.CutEdge(c.u, c.v); err == nil {
-				up[c] = false
-			}
-		} else {
-			if err := net.AddEdge(c.u, c.v); err == nil {
-				up[c] = true
-			}
-		}
-	})
-
-	// Watch one specific chord get inserted level by level.
-	watched := chord{2, 7}
-	var watchErr error
-	net.At(20, func(float64) {
-		if up[watched] {
-			return // the churn process already raised it
-		}
-		if err := net.AddEdge(watched.u, watched.v); err != nil {
-			watchErr = err
-			return
-		}
-		up[watched] = true
-	})
-
 	fmt.Fprintln(w, "ring backbone + churning chords; watching edge {2,7} climb the neighbor-set levels")
 	fmt.Fprintf(w, "%8s %12s %12s %14s\n", "t", "globalSkew", "localSkew", "level{2,7}")
 	net.Every(40, func(t float64) {
-		lvl := net.Core().EdgeLevel(watched.u, watched.v)
+		lvl := net.Core().EdgeLevel(watched[0], watched[1])
 		lvlStr := fmt.Sprintf("%d", lvl)
 		if lvl > 1<<30 {
 			lvlStr = "∞ (done)"
@@ -84,13 +54,16 @@ func run(w io.Writer) error {
 		fmt.Fprintf(w, "%8.0f %12.4f %12.4f %14s\n", t, net.GlobalSkew(), net.AdjacentSkew(), lvlStr)
 	})
 	net.RunFor(400)
-	if watchErr != nil {
-		return fmt.Errorf("adding watched edge: %w", watchErr)
+	if churn.Err != nil {
+		return fmt.Errorf("churn scenario: %w", churn.Err)
+	}
+	if watch.Err != nil {
+		return fmt.Errorf("adding watched edge: %w", watch.Err)
 	}
 
 	c := net.Core()
-	fmt.Fprintf(w, "\nhandshakes completed: %d, aborted by churn: %d, trigger conflicts: %d\n",
-		c.Insertions, c.HandshakeAborts, c.TriggerConflicts)
+	fmt.Fprintf(w, "\nchord toggles: %d, handshakes completed: %d, aborted by churn: %d, trigger conflicts: %d\n",
+		churn.Toggles, c.Insertions, c.HandshakeAborts, c.TriggerConflicts)
 	fmt.Fprintln(w, "edges always enter at long path levels first (small s), protecting short-path guarantees (Section 4.2)")
 	return nil
 }

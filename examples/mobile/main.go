@@ -1,5 +1,6 @@
-// Mobile: a dynamic network of moving nodes. Nodes walk on a ring of cells;
-// an estimate edge exists while two nodes are in adjacent cells. Edges come
+// Mobile: a dynamic network of moving nodes. Nodes roam the unit torus and
+// an estimate edge exists while two nodes are within radio radius — the
+// random-geometric mobility scenario from internal/scenario. Edges come
 // and go as nodes move — the fully dynamic setting of the paper — yet the
 // clocks of nodes that travel together stay tightly synchronized.
 package main
@@ -7,59 +8,13 @@ package main
 import (
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
 
 	gradsync "repro"
+	"repro/internal/scenario"
 )
 
-const (
-	nNodes = 10
-	nCells = 5
-)
-
-type world struct {
-	net  *gradsync.Network
-	rng  *rand.Rand
-	cell []int
-	// up tracks which pairs currently have a live estimate edge.
-	up map[[2]int]bool
-}
-
-func pairKey(a, b int) [2]int {
-	if a > b {
-		a, b = b, a
-	}
-	return [2]int{a, b}
-}
-
-func (w *world) near(a, b int) bool {
-	d := w.cell[a] - w.cell[b]
-	if d < 0 {
-		d = -d
-	}
-	return d <= 1 || d == nCells-1
-}
-
-// refresh reconciles edges with current positions.
-func (w *world) refresh() {
-	for a := 0; a < nNodes; a++ {
-		for b := a + 1; b < nNodes; b++ {
-			key := pairKey(a, b)
-			near := w.near(a, b)
-			switch {
-			case near && !w.up[key]:
-				if err := w.net.AddEdge(a, b); err == nil {
-					w.up[key] = true
-				}
-			case !near && w.up[key]:
-				if err := w.net.CutEdge(a, b); err == nil {
-					w.up[key] = false
-				}
-			}
-		}
-	}
-}
+const nNodes = 10
 
 func main() {
 	if err := run(os.Stdout); err != nil {
@@ -69,46 +24,27 @@ func main() {
 }
 
 func run(w io.Writer) error {
-	// Start everyone in a block of adjacent cells so the graph begins
-	// connected, as the model requires.
-	var edges [][2]int
-	cell := make([]int, nNodes)
-	for i := range cell {
-		cell[i] = (i / 2) % nCells
+	// Nodes 0 and 1 are companions: every hop moves them together, so
+	// their edge persists while the rest of the graph churns around them.
+	mob := &scenario.RandomGeometric{
+		Radius:     0.2,
+		StepEvery:  4,
+		StepSize:   0.1,
+		Companions: [][]int{{0, 1}},
 	}
-	wld := &world{rng: rand.New(rand.NewSource(3)), cell: cell, up: map[[2]int]bool{}}
-	for a := 0; a < nNodes; a++ {
-		for b := a + 1; b < nNodes; b++ {
-			if wld.near(a, b) {
-				edges = append(edges, [2]int{a, b})
-				wld.up[pairKey(a, b)] = true
-			}
-		}
-	}
-
+	// The initial topology is the radius graph of the deterministic
+	// starting placement (a connected chain, as the model requires).
 	net, err := gradsync.New(gradsync.Config{
-		Topology: gradsync.CustomTopology(nNodes, edges),
+		Topology: gradsync.CustomTopology(nNodes, mob.InitialEdges(nNodes)),
 		Drift:    gradsync.RandomWalkDrift(10),
+		Scenario: mob,
 		Seed:     3,
 	})
 	if err != nil {
 		return err
 	}
-	wld.net = net
 
-	// Every few time units one node hops to a neighboring cell, but nodes 0
-	// and 1 travel together the whole time.
-	net.Every(4, func(float64) {
-		mover := 2 + wld.rng.Intn(nNodes-2)
-		step := 1
-		if wld.rng.Intn(2) == 0 {
-			step = nCells - 1
-		}
-		wld.cell[mover] = (wld.cell[mover] + step) % nCells
-		wld.refresh()
-	})
-
-	fmt.Fprintln(w, "10 mobile nodes on a ring of cells; nodes 0 and 1 travel together")
+	fmt.Fprintln(w, "10 mobile nodes on the unit torus; nodes 0 and 1 travel together")
 	fmt.Fprintf(w, "%8s %12s %16s\n", "t", "globalSkew", "skew(0,1)")
 	worstPair := 0.0
 	net.Every(60, func(t float64) {
@@ -119,9 +55,13 @@ func run(w io.Writer) error {
 		fmt.Fprintf(w, "%8.0f %12.4f %16.4f\n", t, net.GlobalSkew(), s)
 	})
 	net.RunFor(600)
+	if mob.Err != nil {
+		return fmt.Errorf("mobility scenario: %w", mob.Err)
+	}
 
 	fmt.Fprintf(w, "\ncompanion nodes stayed within %.4f (gradient bound for their stable edge: %.3f)\n",
 		worstPair, net.GradientBoundHops(1))
-	fmt.Fprintln(w, "edges elsewhere churned constantly; the insertion protocol absorbed every transition")
+	fmt.Fprintf(w, "moves: %d, edge transitions: %d; the insertion protocol absorbed every one\n",
+		mob.Moves, mob.EdgeEvents)
 	return nil
 }

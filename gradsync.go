@@ -46,6 +46,9 @@ type Network struct {
 	epsLayer float64
 	kappa    float64
 	edges    []topo.EdgeID
+	// edgeScratch is reused by the skew samplers, which run every few
+	// simulated time units and should not allocate per sample.
+	edgeScratch []topo.EdgeID
 }
 
 // New builds and starts a network per the configuration.
@@ -60,6 +63,8 @@ func New(cfg Config) (*Network, error) {
 		BeaconInterval: cfg.BeaconInterval,
 		Drift:          cfg.Drift.build(cfg.Rho, n, sim.NewRNG(cfg.Seed^0x5eed)),
 		Delay:          cfg.Delay.build(),
+		Link:           cfg.Link.toTopo(),
+		Scenario:       cfg.Scenario,
 		Seed:           cfg.Seed,
 	})
 	if err != nil {
@@ -324,10 +329,9 @@ func (n *Network) SkewBetween(u, v int) float64 {
 // AdjacentSkew returns the maximum |L_u − L_v| over edges currently visible
 // in both directions.
 func (n *Network) AdjacentSkew() float64 {
-	var ids []topo.EdgeID
-	ids = n.rt.Dyn.EdgesBothUp(ids)
+	n.edgeScratch = n.rt.Dyn.EdgesBothUp(n.edgeScratch[:0])
 	worst := 0.0
-	for _, e := range ids {
+	for _, e := range n.edgeScratch {
 		if s := n.SkewBetween(e.U, e.V); s > worst {
 			worst = s
 		}
@@ -338,9 +342,9 @@ func (n *Network) AdjacentSkew() float64 {
 // StableAdjacentSkew returns the maximum adjacent skew over edges that have
 // been continuously visible to both endpoints for at least minAge.
 func (n *Network) StableAdjacentSkew(minAge float64) float64 {
-	ids := n.rt.Dyn.StableEdges(n.Now(), minAge, nil)
+	n.edgeScratch = n.rt.Dyn.StableEdges(n.Now(), minAge, n.edgeScratch[:0])
 	worst := 0.0
-	for _, e := range ids {
+	for _, e := range n.edgeScratch {
 		if s := n.SkewBetween(e.U, e.V); s > worst {
 			worst = s
 		}
@@ -368,18 +372,11 @@ func (n *Network) SkewByDistance(minAge float64) map[int]float64 {
 
 // AddEdge declares (if needed) and makes edge {u,v} appear with the shared
 // link parameters; endpoints discover it within τ.
-func (n *Network) AddEdge(u, v int) error {
-	if _, ok := n.rt.Dyn.Params(u, v); !ok {
-		if err := n.rt.Dyn.DeclareLink(u, v, n.link); err != nil {
-			return err
-		}
-	}
-	return n.rt.Dyn.Appear(u, v)
-}
+func (n *Network) AddEdge(u, v int) error { return n.rt.AddEdge(u, v) }
 
 // CutEdge makes edge {u,v} disappear; endpoints detect within τ.
 func (n *Network) CutEdge(u, v int) error {
-	return n.rt.Dyn.Disappear(u, v)
+	return n.rt.CutEdge(u, v)
 }
 
 // GTilde returns the effective static global skew estimate in use.

@@ -23,6 +23,9 @@ type BlockSync struct {
 	l    []float64
 	m    []float64
 	mult []float64
+	// nbrs is the neighbor-enumeration scratch buffer, reused across every
+	// node and tick so the hot path stays allocation-free.
+	nbrs []int
 
 	// FastTicks/SlowTicks count node-ticks per mode.
 	FastTicks, SlowTicks uint64
@@ -101,8 +104,8 @@ func (b *BlockSync) Step(_ sim.Time, dH []float64) {
 func (b *BlockSync) decideMode(u int) float64 {
 	lu := b.l[u]
 	delta := b.S / 20
-	var nbrs []int
-	nbrs = b.rt.Dyn.Neighbors(u, nbrs)
+	b.nbrs = b.rt.Dyn.Neighbors(u, b.nbrs[:0])
+	nbrs := b.nbrs
 	fastWitness, fastBlocked := false, false
 	slowWitness, slowBlocked := false, false
 	for _, v := range nbrs {

@@ -1,0 +1,63 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/drift"
+	"repro/internal/estimate"
+	"repro/internal/runner"
+	"repro/internal/topo"
+)
+
+// benchRuntime wires a 32-node line running AOPT with the oracle estimate
+// layer and warms it up until all edges participate in trigger evaluation.
+func benchRuntime(b *testing.B) (*runner.Runtime, *core.Algorithm) {
+	b.Helper()
+	const n = 32
+	rt, err := runner.New(runner.Config{
+		N: n, Tick: 0.02, BeaconInterval: 0.25,
+		Drift: drift.TwoGroup{Rho: 0.1 / 60, Split: n / 2},
+		Seed:  1,
+	})
+	if err != nil {
+		b.Fatalf("runner: %v", err)
+	}
+	for _, e := range topo.Line(n) {
+		if err := rt.Dyn.DeclareLink(e.U, e.V, topo.DefaultLinkParams()); err != nil {
+			b.Fatalf("declare: %v", err)
+		}
+	}
+	algo := core.MustNew(core.Params{Rho: 0.1 / 60, Mu: 0.1, GTilde: 8})
+	rt.SetEstimator(estimate.NewOracle(rt.Dyn, algo.Logical, estimate.Amplify{}))
+	rt.Attach(algo)
+	for _, e := range topo.Line(n) {
+		if err := rt.Dyn.AppearInstant(e.U, e.V); err != nil {
+			b.Fatalf("appear: %v", err)
+		}
+	}
+	if err := rt.Start(); err != nil {
+		b.Fatalf("start: %v", err)
+	}
+	rt.Run(5) // warm up: scratch buffers grown, all edges evaluated
+	return rt, algo
+}
+
+// BenchmarkCoreStep measures one integration tick of the AOPT trigger
+// evaluation (decideMode over every node plus clock integration) on a
+// 32-node line. The per-tick path must not allocate: run with -benchmem
+// and expect 0 allocs/op.
+func BenchmarkCoreStep(b *testing.B) {
+	rt, algo := benchRuntime(b)
+	dH := make([]float64, rt.N())
+	for u := range dH {
+		dH[u] = 0.02
+	}
+	t := rt.Engine.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t += 0.02
+		algo.Step(t, dH)
+	}
+}

@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"strings"
 	"testing"
+
+	"repro/internal/sweep"
 )
 
 // TestReplicatedDeterministicAcrossParallelism is the determinism
@@ -17,7 +20,7 @@ func TestReplicatedDeterministicAcrossParallelism(t *testing.T) {
 	}
 	for _, entry := range All() {
 		switch entry.ID {
-		case "E01", "E05", "E08", "E12":
+		case "E01", "E05", "E08", "E12", "E14":
 		default:
 			continue
 		}
@@ -38,6 +41,48 @@ func TestReplicatedDeterministicAcrossParallelism(t *testing.T) {
 			if parallel != serial {
 				t.Errorf("%s: parallel=8 output differs from parallel=1:\n--- serial ---\n%s\n--- parallel ---\n%s",
 					entry.ID, serial, parallel)
+			}
+		})
+	}
+}
+
+// TestScenarioDeterminismAcrossParallelism pins the scenario layer's
+// determinism contract: for every generator in the library, the same seed
+// must yield a byte-identical global-skew series, whether the replicas run
+// on one worker or eight and across repeated runs. This is the regression
+// net for generators that draw randomness or iterate pair sets — a single
+// map-ordered loop or worker-dependent draw shows up as a diff here.
+func TestScenarioDeterminismAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario replays take a few seconds")
+	}
+	const (
+		n       = 10
+		horizon = 150.0
+		seeds   = 4
+	)
+	for _, c := range scenarioCases(n, true) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			roots := sweep.Seeds(9, seeds)
+			replay := func(parallelism int) string {
+				series := sweep.Map(seeds, parallelism, func(i int) string {
+					run := runScenarioCase(c, n, horizon, roots[i])
+					if run.err != nil {
+						t.Errorf("seed %d: scenario error: %v", roots[i], run.err)
+					}
+					return run.series.String()
+				})
+				return strings.Join(series, "---\n")
+			}
+			serial := replay(1)
+			if again := replay(1); again != serial {
+				t.Fatalf("%s: two serial replays with the same seeds differ", c.name)
+			}
+			if parallel := replay(8); parallel != serial {
+				t.Errorf("%s: parallel=8 skew series differ from parallel=1:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					c.name, serial, parallel)
 			}
 		})
 	}

@@ -1,10 +1,9 @@
 package experiments
 
 import (
-	"math/rand"
-
 	gradsync "repro"
 	"repro/internal/metrics"
+	"repro/internal/scenario"
 )
 
 // E07Churn reproduces the dynamic-graph guarantee (Theorem 5.22 /
@@ -13,8 +12,8 @@ import (
 // edges — the stable core plus any chords whose insertion completed — and
 // the insertion protocol must tolerate edges flapping mid-handshake.
 //
-// Workload: a line core (never touched) plus random chords that appear and
-// disappear; legality is checked on snapshots throughout.
+// Workload: a line core (never touched) plus the scenario library's chord
+// churn; legality is checked on snapshots throughout.
 func E07Churn(spec Spec) *Result {
 	r := newResult("E07", "Gradient property maintained under churn; only young edges are exempt (Thm 5.22)")
 	n := 12
@@ -25,37 +24,14 @@ func E07Churn(spec Spec) *Result {
 		churnEvery = 4.0
 	}
 
+	// The chord pool defaults to every non-core pair; the declared line is
+	// the protected core the churn process never touches.
+	churn := &scenario.Churn{Every: churnEvery}
 	net := gradsync.MustNew(gradsync.Config{
 		Topology: gradsync.LineTopology(n),
 		Drift:    gradsync.FlipDrift(30),
+		Scenario: churn,
 		Seed:     spec.SeedFor(0),
-	})
-
-	// Chord pool: random non-line pairs toggled by a local deterministic RNG.
-	rng := rand.New(rand.NewSource(spec.SeedFor(99)))
-	type chord struct{ u, v int }
-	var pool []chord
-	for u := 0; u < n; u++ {
-		for v := u + 2; v < n; v++ {
-			pool = append(pool, chord{u, v})
-		}
-	}
-	up := make(map[chord]bool)
-	toggles := 0
-	net.Every(churnEvery, func(t float64) {
-		c := pool[rng.Intn(len(pool))]
-		var err error
-		if up[c] {
-			err = net.CutEdge(c.u, c.v)
-		} else {
-			err = net.AddEdge(c.u, c.v)
-		}
-		if err != nil {
-			r.failf("churn toggle {%d,%d}: %v", c.u, c.v, err)
-			return
-		}
-		up[c] = !up[c]
-		toggles++
 	})
 
 	worstRatio := 0.0
@@ -80,9 +56,10 @@ func E07Churn(spec Spec) *Result {
 	c := net.Core()
 	r.Table = metrics.NewTable("churning chords over a stable line core (n=12)",
 		"toggles", "handshakesDone", "aborts", "worstRatio", "maxGlobal", "G̃")
-	r.Table.AddRow(toggles, c.Insertions, c.HandshakeAborts, worstRatio, maxGlobal, net.GTilde())
+	r.Table.AddRow(churn.Toggles, c.Insertions, c.HandshakeAborts, worstRatio, maxGlobal, net.GTilde())
 
-	r.assert(toggles > 10, "churn driver barely ran (%d toggles)", toggles)
+	r.assert(churn.Err == nil, "churn driver failed: %v", churn.Err)
+	r.assert(churn.Toggles > 10, "churn driver barely ran (%d toggles)", churn.Toggles)
 	r.assert(maxGlobal <= net.GTilde(), "global skew %.3f exceeded G̃ %.3f under churn", maxGlobal, net.GTilde())
 	r.assert(c.TriggerConflicts == 0, "trigger conflicts under churn: %d", c.TriggerConflicts)
 	r.assert(c.Insertions > 0, "no chord handshake ever completed")

@@ -6,6 +6,7 @@ import (
 
 	gradsync "repro"
 	"repro/internal/metrics"
+	"repro/internal/scenario"
 )
 
 // E10DynamicEstimates reproduces the Section 7 mechanism: insertion
@@ -26,26 +27,20 @@ func E10DynamicEstimates(spec Spec) *Result {
 		bSmall  = 0.05
 		spread0 = 20.0
 	)
+	// Edge A appears while the corrupted skew is still large; edge B long
+	// after the drain.
+	earlyAt := 5.0
+	lateAt := spread0/0.09 + 150
+	script := scenario.NewScript(
+		scenario.AddAt(earlyAt, 0, 2),
+		scenario.AddAt(lateAt, 0, 4),
+	)
 	net := gradsync.MustNew(gradsync.Config{
 		Topology:      gradsync.LineTopology(n),
 		Algorithm:     gradsync.AOPTDynamicSkewB(1.5, bSmall),
 		InitialClocks: ramp(n, spread0/float64(n-1)),
+		Scenario:      script,
 		Seed:          spec.SeedFor(0),
-	})
-
-	// Edge A appears while the corrupted skew is still large.
-	earlyAt := 5.0
-	net.At(earlyAt, func(float64) {
-		if err := net.AddEdge(0, 2); err != nil {
-			r.failf("add early edge: %v", err)
-		}
-	})
-	// Edge B appears long after the drain.
-	lateAt := spread0/0.09 + 150
-	net.At(lateAt, func(float64) {
-		if err := net.AddEdge(0, 4); err != nil {
-			r.failf("add late edge: %v", err)
-		}
 	})
 
 	worstRatio := 0.0
@@ -68,6 +63,7 @@ func E10DynamicEstimates(spec Spec) *Result {
 		r.Table.AddRow("{0,4} late", lateAt, t0B, insB, math.Log2(insB), levelName(c.EdgeLevel(0, 4)))
 	}
 
+	r.assert(script.Err == nil, "edge script failed: %v", script.Err)
 	r.assert(okA, "early edge never agreed insertion times")
 	r.assert(okB, "late edge never agreed insertion times")
 	if okA && okB {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/estimate"
 	"repro/internal/metrics"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/topo"
 	"repro/internal/transport"
 )
@@ -109,14 +110,14 @@ func E12Ablations(spec Spec) *Result {
 // worstPairRatioDuringMerge reruns the merge scenario sampling the pairwise
 // gradient check (which includes the new edge once it is fully inserted).
 func worstPairRatioDuringMerge(n int, offset float64, algo gradsync.Algo, seed int64) float64 {
+	k := n / 2
 	net := gradsync.MustNew(gradsync.Config{
 		Topology:      splitLineTopology(n),
 		Algorithm:     algo,
 		InitialClocks: offsetHalves(n, offset),
+		Scenario:      &scenario.PartitionHeal{HealAt: 5, Bridges: []scenario.Pair{{k - 1, k}}},
 		Seed:          seed,
 	})
-	k := n / 2
-	net.At(5, func(float64) { _ = net.AddEdge(k-1, k) })
 	worst := 0.0
 	net.Every(1, func(float64) {
 		if ratio, _, _ := net.Core().Snapshot().PairSkewBoundCheck(net.GTilde(), net.Sigma()); ratio > worst {

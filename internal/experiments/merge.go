@@ -3,6 +3,7 @@ package experiments
 import (
 	gradsync "repro"
 	"repro/internal/metrics"
+	"repro/internal/scenario"
 )
 
 // mergeOutcome is the result of one run of the merge scenario: two
@@ -18,15 +19,19 @@ type mergeOutcome struct {
 	mergeAt  float64
 }
 
-// runMerge executes the merge scenario for the given algorithm. offset is
-// the initial clock offset between the halves; horizon is relative to the
-// merge time.
+// runMerge executes the merge scenario for the given algorithm: the network
+// starts as two disjoint segments and a scenario.PartitionHeal joins them
+// with the bridge edge at mergeAt. offset is the initial clock offset
+// between the halves; horizon is relative to the merge time.
 func runMerge(n int, offset float64, algo gradsync.Algo, seed int64, horizon float64) (*mergeOutcome, error) {
 	k := n / 2
+	const mergeAt = 5.0
+	heal := &scenario.PartitionHeal{HealAt: mergeAt, Bridges: []scenario.Pair{{k - 1, k}}}
 	net, err := gradsync.New(gradsync.Config{
 		Topology:      splitLineTopology(n),
 		Algorithm:     algo,
 		InitialClocks: offsetHalves(n, offset),
+		Scenario:      heal,
 		Seed:          seed,
 	})
 	if err != nil {
@@ -36,11 +41,8 @@ func runMerge(n int, offset float64, algo gradsync.Algo, seed int64, horizon flo
 		net:     net,
 		bridge:  &metrics.Series{Name: "bridge"},
 		offset:  offset,
-		mergeAt: 5.0,
+		mergeAt: mergeAt,
 	}
-	net.At(out.mergeAt, func(float64) {
-		err = net.AddEdge(k-1, k)
-	})
 	net.Every(0.05, func(t float64) {
 		if t < out.mergeAt {
 			return
@@ -56,8 +58,8 @@ func runMerge(n int, offset float64, algo gradsync.Algo, seed int64, horizon flo
 		}
 	})
 	net.RunFor(out.mergeAt + horizon)
-	if err != nil {
-		return nil, err
+	if heal.Err != nil {
+		return nil, heal.Err
 	}
 	return out, nil
 }

@@ -39,6 +39,14 @@ type Algorithm interface {
 	MaxEstimate(u int) float64
 }
 
+// Scenario drives dynamic-network behavior against a running runtime:
+// topology churn, mobility, partitions, edge flaps. Implementations live in
+// internal/scenario and are installed once, at Start, with a dedicated RNG
+// stream so scenario randomness never perturbs the other adversaries.
+type Scenario interface {
+	Install(rt *Runtime, rng *sim.RNG)
+}
+
 // Config assembles a runtime.
 type Config struct {
 	// N is the number of nodes.
@@ -51,6 +59,12 @@ type Config struct {
 	Drift drift.Schedule
 	// Delay is the message delay adversary.
 	Delay transport.DelayPolicy
+	// Link gives the parameters used when a scenario (or Runtime.AddEdge)
+	// touches an edge that was never declared; zero value → the
+	// topo.DefaultLinkParams unit conventions.
+	Link topo.LinkParams
+	// Scenario, when non-nil, is installed at Start (see internal/scenario).
+	Scenario Scenario
 	// Seed feeds all randomness.
 	Seed int64
 }
@@ -96,6 +110,9 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.Drift == nil {
 		cfg.Drift = drift.Perfect()
 	}
+	if cfg.Link == (topo.LinkParams{}) {
+		cfg.Link = topo.DefaultLinkParams()
+	}
 	engine := sim.NewEngine()
 	rng := sim.NewRNG(cfg.Seed)
 	dyn := topo.NewDynamic(cfg.N, engine, rng.Split())
@@ -123,6 +140,25 @@ func (rt *Runtime) BeaconInterval() float64 { return rt.cfg.BeaconInterval }
 
 // Hardware returns node u's current hardware clock (for estimate layers).
 func (rt *Runtime) Hardware(u int) float64 { return rt.HW[u] }
+
+// Link returns the parameters used for scenario-created edges.
+func (rt *Runtime) Link() topo.LinkParams { return rt.cfg.Link }
+
+// AddEdge declares (if needed) edge {u,v} with the configured link
+// parameters and makes it appear; endpoints discover it within τ.
+func (rt *Runtime) AddEdge(u, v int) error {
+	if _, ok := rt.Dyn.Params(u, v); !ok {
+		if err := rt.Dyn.DeclareLink(u, v, rt.cfg.Link); err != nil {
+			return err
+		}
+	}
+	return rt.Dyn.Appear(u, v)
+}
+
+// CutEdge makes edge {u,v} disappear; endpoints detect within τ.
+func (rt *Runtime) CutEdge(u, v int) error {
+	return rt.Dyn.Disappear(u, v)
+}
 
 // SetEstimator installs the estimate layer. When the layer is the messaging
 // implementation, the runtime feeds it beacons and invalidations.
@@ -156,6 +192,12 @@ func (rt *Runtime) Start() error {
 		return fmt.Errorf("runner: Start called twice")
 	}
 	rt.started = true
+	// The scenario draws from its own RNG stream, split off only when a
+	// scenario is present so scenario-free runs keep their historical
+	// randomness byte for byte.
+	if rt.cfg.Scenario != nil {
+		rt.cfg.Scenario.Install(rt, rt.RNG.Split())
+	}
 	rt.Engine.NewTicker(rt.cfg.Tick, rt.cfg.Tick, rt.step)
 	for u := 0; u < rt.cfg.N; u++ {
 		u := u

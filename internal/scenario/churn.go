@@ -1,0 +1,110 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// Churn toggles chord edges on and off over a protected core — the fully
+// dynamic workload of Theorem 5.22: at each event one pair from the pool is
+// flipped (appears if down, disappears if up), so handshakes race topology
+// changes and edges can flap mid-insertion.
+//
+// The pool defaults to every node pair with no declared link at install
+// time; the declared initial topology (the line or ring "core") is never
+// touched. Events are periodic with period Every, or Poisson with mean gap
+// Every when Poisson is set.
+type Churn struct {
+	// Every is the mean time between toggles; it must be positive.
+	Every float64
+	// Poisson draws exponential inter-event gaps with mean Every instead
+	// of a fixed period.
+	Poisson bool
+	// Pairs overrides the candidate pool (nil = all undeclared pairs).
+	Pairs []Pair
+	// Until stops the churn process at that time; 0 means never.
+	Until float64
+
+	// Toggles counts applied transitions; Err records the first failure.
+	Toggles int
+	Err     error
+
+	rt   *runner.Runtime
+	rng  *sim.RNG
+	pool []Pair
+	up   map[Pair]bool
+	tk   *sim.Ticker
+}
+
+var _ runner.Scenario = (*Churn)(nil)
+
+// Install implements runner.Scenario.
+func (c *Churn) Install(rt *runner.Runtime, rng *sim.RNG) {
+	if c.Every <= 0 {
+		c.Err = fmt.Errorf("scenario churn: Every must be positive, got %v", c.Every)
+		return
+	}
+	c.rt = rt
+	c.rng = rng
+	if c.Pairs != nil {
+		c.pool = append([]Pair(nil), c.Pairs...) // canonicalized copy; the caller's slice stays untouched
+	} else {
+		c.pool = freePairs(rt)
+	}
+	for i, p := range c.pool {
+		c.pool[i] = canon(p)
+	}
+	if len(c.pool) == 0 {
+		c.Err = fmt.Errorf("scenario churn: empty chord pool (all %d-node pairs declared)", rt.N())
+		return
+	}
+	c.up = make(map[Pair]bool, len(c.pool))
+	if c.Poisson {
+		rt.Engine.After(rng.Exp(c.Every), c.poissonStep)
+		return
+	}
+	c.tk = rt.Engine.NewTicker(c.Every, c.Every, func(t sim.Time, _ float64) { c.toggle(t) })
+}
+
+func (c *Churn) expired(t sim.Time) bool { return c.Until > 0 && t > c.Until }
+
+func (c *Churn) poissonStep(t sim.Time) {
+	if c.expired(t) {
+		return
+	}
+	c.toggle(t)
+	c.rt.Engine.After(c.rng.Exp(c.Every), c.poissonStep)
+}
+
+func (c *Churn) toggle(t sim.Time) {
+	if c.expired(t) {
+		if c.tk != nil {
+			c.tk.Stop()
+			c.tk = nil
+		}
+		return
+	}
+	p := c.pool[c.rng.Intn(len(c.pool))]
+	// Resync with the graph: a composed generator may have flipped this
+	// pair since our last visit, and a stale mirror would count phantom
+	// toggles (transitions the topo layer no-ops).
+	if both := c.rt.Dyn.BothUp(p[0], p[1]); both != c.up[p] {
+		c.up[p] = both
+	}
+	var err error
+	if c.up[p] {
+		err = c.rt.CutEdge(p[0], p[1])
+	} else {
+		err = c.rt.AddEdge(p[0], p[1])
+	}
+	if err != nil {
+		if c.Err == nil {
+			c.Err = edgeErrf("churn", p[0], p[1], err)
+		}
+		return
+	}
+	c.up[p] = !c.up[p]
+	c.Toggles++
+}

@@ -1,0 +1,62 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// EdgeFlap flaps a single edge: it appears at At and then toggles every
+// Period, Flaps transitions in total. With a Period shorter than the
+// insertion handshake's waiting period Δ the edge disappears mid-handshake,
+// exercising the Listing 1 abort paths (T_s := ⊥ on edge loss).
+type EdgeFlap struct {
+	// U, V is the flapped edge.
+	U, V int
+	// At is the first appearance time.
+	At float64
+	// Period is the time between successive transitions.
+	Period float64
+	// Flaps is the total number of transitions (default 3: up-down-up).
+	Flaps int
+
+	// Toggles counts applied transitions; Err records the first failure.
+	Toggles int
+	Err     error
+}
+
+var _ runner.Scenario = (*EdgeFlap)(nil)
+
+// Install implements runner.Scenario.
+func (f *EdgeFlap) Install(rt *runner.Runtime, _ *sim.RNG) {
+	if f.Period <= 0 {
+		f.Err = fmt.Errorf("scenario flap: Period must be positive, got %v", f.Period)
+		return
+	}
+	if f.Flaps <= 0 {
+		f.Flaps = 3
+	}
+	u, v := f.U, f.V
+	if u > v {
+		u, v = v, u
+	}
+	for i := 0; i < f.Flaps; i++ {
+		add := i%2 == 0
+		rt.Engine.Schedule(f.At+float64(i)*f.Period, func(sim.Time) {
+			var err error
+			if add {
+				err = rt.AddEdge(u, v)
+			} else {
+				err = rt.CutEdge(u, v)
+			}
+			if err != nil {
+				if f.Err == nil {
+					f.Err = edgeErrf("flap", u, v, err)
+				}
+				return
+			}
+			f.Toggles++
+		})
+	}
+}

@@ -1,0 +1,191 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// RandomGeometric is a mobility scenario: nodes live on the unit torus and
+// share an estimate edge exactly while their torus distance is at most
+// Radius. Every StepEvery time units one node (or one companion group)
+// hops StepSize in a random direction and the edge set is reconciled —
+// the random-geometric generalization of the cell-hopping mobile example.
+//
+// Nodes start in a deterministic chain spaced 0.45·Radius apart, so the
+// initial graph is connected as the model requires; InitialEdges exposes
+// that edge set so callers can hand it to the topology configuration.
+type RandomGeometric struct {
+	// Radius is the connection radius on the unit torus; it must be
+	// positive.
+	Radius float64
+	// StepEvery is the time between hops (default 4).
+	StepEvery float64
+	// StepSize is the hop distance (default 0.45·Radius).
+	StepSize float64
+	// Companions lists node groups whose members replicate each other's
+	// hops, so edges inside a group persist while the group roams.
+	Companions [][]int
+
+	// Moves counts hops, EdgeEvents counts add/cut reconciliations, and
+	// Err records the first failure.
+	Moves      int
+	EdgeEvents int
+	Err        error
+
+	rt      *runner.Runtime
+	rng     *sim.RNG
+	pos     [][2]float64
+	up      []bool // pair-indexed via pairIndex
+	groupOf []int  // companion group id per node, -1 for solo nodes
+}
+
+var _ runner.Scenario = (*RandomGeometric)(nil)
+
+// initialPositions places n nodes in a chain along the x axis, spaced
+// 0.45·Radius so consecutive and second neighbors connect.
+func (g *RandomGeometric) initialPositions(n int) [][2]float64 {
+	spacing := 0.45 * g.Radius
+	pos := make([][2]float64, n)
+	for i := range pos {
+		x := float64(i) * spacing
+		pos[i] = [2]float64{x - math.Floor(x), 0}
+	}
+	return pos
+}
+
+// torusDist is the Euclidean distance on the unit torus.
+func torusDist(a, b [2]float64) float64 {
+	var sum float64
+	for i := 0; i < 2; i++ {
+		d := math.Abs(a[i] - b[i])
+		d -= math.Floor(d)
+		if d > 0.5 {
+			d = 1 - d
+		}
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// InitialEdges returns the radius graph of the deterministic initial
+// placement, for use as the run's initial topology. An unset Radius
+// returns nil (Install reports the error), rather than the complete graph
+// a zero spacing would degenerate to.
+func (g *RandomGeometric) InitialEdges(n int) []Pair {
+	if g.Radius <= 0 {
+		return nil
+	}
+	pos := g.initialPositions(n)
+	var out []Pair
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if torusDist(pos[u], pos[v]) <= g.Radius {
+				out = append(out, Pair{u, v})
+			}
+		}
+	}
+	return out
+}
+
+func (g *RandomGeometric) pairIndex(u, v int) int {
+	n := g.rt.N()
+	if u > v {
+		u, v = v, u
+	}
+	return u*n + v
+}
+
+// Install implements runner.Scenario.
+func (g *RandomGeometric) Install(rt *runner.Runtime, rng *sim.RNG) {
+	if g.Radius <= 0 {
+		g.Err = fmt.Errorf("scenario geometric: Radius must be positive, got %v", g.Radius)
+		return
+	}
+	if g.StepEvery <= 0 {
+		g.StepEvery = 4
+	}
+	if g.StepSize <= 0 {
+		g.StepSize = 0.45 * g.Radius
+	}
+	g.rt = rt
+	g.rng = rng
+	n := rt.N()
+	g.pos = g.initialPositions(n)
+	g.groupOf = make([]int, n)
+	for i := range g.groupOf {
+		g.groupOf[i] = -1
+	}
+	for gi, group := range g.Companions {
+		for _, u := range group {
+			if u < 0 || u >= n {
+				g.Err = fmt.Errorf("scenario geometric: companion node %d out of range [0,%d)", u, n)
+				return
+			}
+			g.groupOf[u] = gi
+		}
+	}
+	// Seed the edge-state mirror from the graph itself, so a caller that
+	// started from a different initial topology still reconciles correctly.
+	g.up = make([]bool, n*n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.up[g.pairIndex(u, v)] = rt.Dyn.BothUp(u, v)
+		}
+	}
+	rt.Engine.NewTicker(g.StepEvery, g.StepEvery, func(sim.Time, float64) { g.step() })
+}
+
+// step hops one node (dragging its companions along) and reconciles edges.
+func (g *RandomGeometric) step() {
+	n := g.rt.N()
+	mover := g.rng.Intn(n)
+	angle := g.rng.Uniform(0, 2*math.Pi)
+	dx := g.StepSize * math.Cos(angle)
+	dy := g.StepSize * math.Sin(angle)
+	move := func(u int) {
+		x := g.pos[u][0] + dx
+		y := g.pos[u][1] + dy
+		g.pos[u] = [2]float64{x - math.Floor(x), y - math.Floor(y)}
+	}
+	if gi := g.groupOf[mover]; gi >= 0 {
+		for _, u := range g.Companions[gi] {
+			move(u)
+		}
+	} else {
+		move(mover)
+	}
+	g.Moves++
+	g.refresh()
+}
+
+// refresh reconciles the edge set with current positions, iterating pairs
+// in fixed order for determinism.
+func (g *RandomGeometric) refresh() {
+	n := g.rt.N()
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			idx := g.pairIndex(u, v)
+			near := torusDist(g.pos[u], g.pos[v]) <= g.Radius
+			if near == g.up[idx] {
+				continue
+			}
+			var err error
+			if near {
+				err = g.rt.AddEdge(u, v)
+			} else {
+				err = g.rt.CutEdge(u, v)
+			}
+			if err != nil {
+				if g.Err == nil {
+					g.Err = edgeErrf("geometric", u, v, err)
+				}
+				continue
+			}
+			g.up[idx] = near
+			g.EdgeEvents++
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// PartitionHeal splits the network into components and rejoins it — the
+// merge scenario of the stabilization experiments (E03–E05), generalized.
+//
+// With Parts set, every cross-part edge is cut at SplitAt and the
+// partition is *enforced* until HealAt: a sweep on the detection-delay
+// cadence cuts cross-part edges that come up mid-window (an appearance
+// still inside its detection lag at SplitAt, or a composed generator such
+// as Churn adding a crossing chord), so the graph genuinely stays
+// disconnected. Everything cut is restored at HealAt, plus the explicit
+// Bridges. With Parts nil the network is assumed to start partitioned (a
+// split initial topology) and only the Bridges are added — exactly the
+// classic two-segment merge.
+type PartitionHeal struct {
+	// Parts lists node groups; edges between different groups are cut at
+	// SplitAt. Nodes absent from every group keep all their edges.
+	Parts [][]int
+	// SplitAt is when cross-part edges are cut (used only with Parts).
+	SplitAt float64
+	// HealAt is when cut edges are restored and Bridges appear.
+	HealAt float64
+	// Bridges are extra edges added at HealAt (the merge edge).
+	Bridges []Pair
+
+	// CutEdges and HealedEdges count applied operations; Err records the
+	// first failure.
+	CutEdges    int
+	HealedEdges int
+	Err         error
+
+	rt      *runner.Runtime
+	part    []int
+	cut     []topo.EdgeID
+	wasCut  map[topo.EdgeID]bool
+	sweeper *sim.Ticker
+	scratch []topo.EdgeID
+}
+
+var _ runner.Scenario = (*PartitionHeal)(nil)
+
+// Install implements runner.Scenario.
+func (p *PartitionHeal) Install(rt *runner.Runtime, _ *sim.RNG) {
+	p.rt = rt
+	if len(p.Parts) > 0 {
+		if p.HealAt <= p.SplitAt {
+			p.Err = fmt.Errorf("scenario partition: HealAt %v must follow SplitAt %v", p.HealAt, p.SplitAt)
+			return
+		}
+		p.wasCut = make(map[topo.EdgeID]bool)
+		rt.Engine.Schedule(p.SplitAt, func(t sim.Time) {
+			p.part = p.partOf()
+			p.sweep(t)
+			// Re-sweep on the detection-delay cadence so cross-part edges
+			// that surface mid-window are cut too.
+			interval := rt.Link().Tau
+			if interval <= 0 {
+				interval = rt.Tick()
+			}
+			p.sweeper = rt.Engine.NewTicker(t+interval, interval, func(t sim.Time, _ float64) {
+				p.sweep(t)
+			})
+		})
+	}
+	rt.Engine.Schedule(p.HealAt, p.heal)
+}
+
+// partOf maps each node to its part index (-1 when unlisted).
+func (p *PartitionHeal) partOf() []int {
+	part := make([]int, p.rt.N())
+	for i := range part {
+		part[i] = -1
+	}
+	for pi, nodes := range p.Parts {
+		for _, u := range nodes {
+			if u >= 0 && u < len(part) {
+				part[u] = pi
+			}
+		}
+	}
+	return part
+}
+
+// sweep cuts every cross-part edge visible in either direction, recording
+// it (once) for restoration at heal.
+func (p *PartitionHeal) sweep(sim.Time) {
+	p.scratch = p.rt.Dyn.DeclaredEdges(p.scratch[:0])
+	for _, id := range p.scratch {
+		pu, pv := p.part[id.U], p.part[id.V]
+		if pu < 0 || pv < 0 || pu == pv {
+			continue
+		}
+		if !p.rt.Dyn.Sees(id.U, id.V) && !p.rt.Dyn.Sees(id.V, id.U) {
+			continue
+		}
+		if err := p.rt.CutEdge(id.U, id.V); err != nil {
+			if p.Err == nil {
+				p.Err = edgeErrf("partition", id.U, id.V, err)
+			}
+			continue
+		}
+		if !p.wasCut[id] {
+			p.wasCut[id] = true
+			p.cut = append(p.cut, id)
+		}
+		p.CutEdges++
+	}
+}
+
+func (p *PartitionHeal) heal(sim.Time) {
+	if p.sweeper != nil {
+		p.sweeper.Stop()
+		p.sweeper = nil
+	}
+	for _, id := range p.cut {
+		if err := p.rt.AddEdge(id.U, id.V); err != nil {
+			if p.Err == nil {
+				p.Err = edgeErrf("heal", id.U, id.V, err)
+			}
+			continue
+		}
+		p.HealedEdges++
+	}
+	for _, b := range p.Bridges {
+		b = canon(b)
+		if err := p.rt.AddEdge(b[0], b[1]); err != nil {
+			if p.Err == nil {
+				p.Err = edgeErrf("heal bridge", b[0], b[1], err)
+			}
+			continue
+		}
+		p.HealedEdges++
+	}
+}

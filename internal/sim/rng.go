@@ -37,6 +37,15 @@ func (g *RNG) Bool(p float64) bool { return g.r.Float64() < p }
 // NormFloat64 returns a standard normal sample.
 func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
 
+// Exp returns an exponential sample with the given mean (Poisson event
+// gaps). A non-positive mean returns 0.
+func (g *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return g.r.ExpFloat64() * mean
+}
+
 // Split derives an independent child generator. Children created in the same
 // order from the same parent are identical across runs.
 func (g *RNG) Split() *RNG {

@@ -1,0 +1,49 @@
+package sweep
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileInterpolates(t *testing.T) {
+	vals := []float64{4, 1, 3, 2} // sorted: 1 2 3 4
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {1.0 / 3.0, 2},
+	}
+	for _, c := range cases {
+		if got := Quantile(vals, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Input must be left unsorted.
+	if vals[0] != 4 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) should be NaN")
+	}
+	tail := TailOf(nil)
+	if !math.IsNaN(tail.P50) || !math.IsNaN(tail.P99) {
+		t.Error("TailOf(nil) should be all NaN")
+	}
+}
+
+func TestTailOfMatchesQuantile(t *testing.T) {
+	vals := make([]float64, 101)
+	for i := range vals {
+		vals[i] = float64(100 - i) // 100..0, unsorted order
+	}
+	tail := TailOf(vals)
+	if tail.P50 != 50 || tail.P95 != 95 || tail.P99 != 99 {
+		t.Errorf("TailOf = %+v, want 50/95/99", tail)
+	}
+	if s := tail.String(); s != "50/95/99" {
+		t.Errorf("Tail.String() = %q", s)
+	}
+}

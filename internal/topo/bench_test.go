@@ -1,0 +1,30 @@
+package topo
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkNeighbors measures neighbor enumeration with a reused scratch
+// buffer — the pattern every per-tick caller (trigger evaluation, beacon
+// broadcast) must follow. With -benchmem this reports 0 allocs/op; passing
+// nil instead of the scratch would allocate on every call.
+func BenchmarkNeighbors(b *testing.B) {
+	engine := sim.NewEngine()
+	d := NewDynamic(32, engine, sim.NewRNG(1))
+	for _, e := range Torus(8, 4) {
+		if err := d.DeclareLink(e.U, e.V, DefaultLinkParams()); err != nil {
+			b.Fatalf("declare: %v", err)
+		}
+		if err := d.AppearInstant(e.U, e.V); err != nil {
+			b.Fatalf("appear: %v", err)
+		}
+	}
+	var scratch []int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch = d.Neighbors(i%32, scratch[:0])
+	}
+}

@@ -26,6 +26,12 @@ type LinkParams struct {
 	Uncertainty float64
 }
 
+// DefaultLinkParams returns the unit conventions used throughout the
+// experiments (see DESIGN.md): ε = 0.2, τ = 0.1, T = 0.1, U = 0.05.
+func DefaultLinkParams() LinkParams {
+	return LinkParams{Eps: 0.2, Tau: 0.1, Delay: 0.1, Uncertainty: 0.05}
+}
+
 // Validate reports whether the parameters are internally consistent.
 func (p LinkParams) Validate() error {
 	switch {
@@ -289,6 +295,18 @@ func (d *Dynamic) Neighbors(u int, dst []int) []int {
 		}
 	}
 	sort.Ints(dst[start:])
+	return dst
+}
+
+// DeclaredEdges appends to dst every declared (potential) edge, up or down,
+// sorted. Scenario generators use it to tell the protected initial topology
+// apart from the pairs they are free to toggle.
+func (d *Dynamic) DeclaredEdges(dst []EdgeID) []EdgeID {
+	start := len(dst)
+	for id := range d.edges {
+		dst = append(dst, id)
+	}
+	sortEdges(dst[start:])
 	return dst
 }
 
