@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json suite ci
+.PHONY: all build vet test race bench bench-json bench-diff bench-baseline suite ci
 
 all: build test
 
@@ -26,12 +26,27 @@ bench:
 
 # Archives the hot-path and sweep-engine benchmarks as a JSON perf record
 # (the repo's perf trajectory): substrate micro-benchmarks at full
-# precision, the multi-seed sweep engine at one pass per pool size.
+# precision, the multi-seed sweep engine and the E15 scale tier (the
+# 10k-node ring with churn, whose events/sec is the throughput headline)
+# at one pass each.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkCoreStep|BenchmarkBlockSyncStep|BenchmarkNeighbors' -benchmem ./internal/core ./internal/baselines ./internal/topo > BENCH_raw.txt
-	$(GO) test -run '^$$' -bench 'BenchmarkSweep|BenchmarkSimulationStep' -benchmem -benchtime=1x . >> BENCH_raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem ./internal/sim >> BENCH_raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulationStep' -benchmem -benchtime=20x . >> BENCH_raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkSweep|BenchmarkRuntime10k' -benchmem -benchtime=1x . >> BENCH_raw.txt
 	$(GO) run ./cmd/benchjson -out BENCH_sweep.json < BENCH_raw.txt
 	rm -f BENCH_raw.txt
+
+# Trend checker: compare the fresh sweep against the committed baseline and
+# fail on >20% ns/op regressions. CI runs this as a non-blocking step, so
+# perf drift warns without gating merges.
+bench-diff: bench-json
+	$(GO) run ./cmd/benchjson -compare BENCH_baseline.json BENCH_sweep.json
+
+# Refresh the committed perf baseline from the current tree (run after a
+# deliberate perf-relevant change and commit the result).
+bench-baseline: bench-json
+	cp BENCH_sweep.json BENCH_baseline.json
 
 # The full reproduction report with multi-seed aggregation.
 suite:

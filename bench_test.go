@@ -15,6 +15,7 @@ import (
 
 	gradsync "repro"
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 )
@@ -111,6 +112,38 @@ func BenchmarkE13InsertionStrategies(b *testing.B) {
 
 func BenchmarkE14ScenarioMatrix(b *testing.B) {
 	benchExperiment(b, experiments.E14ScenarioMatrix)
+}
+
+func BenchmarkE15LargeScale(b *testing.B) {
+	benchExperiment(b, experiments.E15LargeScale)
+}
+
+// BenchmarkRuntime10k is the scale-tier throughput record: one simulated
+// time unit on a 10 000-node ring with chord churn running (50 integration
+// ticks, 40k beacons, their deliveries, and the churn handshakes). The
+// ns/op trajectory of this benchmark is the substrate's headline number in
+// BENCH_sweep.json.
+func BenchmarkRuntime10k(b *testing.B) {
+	const n = 10000
+	pairs := make([]scenario.Pair, 0, 64)
+	for i := 0; i < 64; i++ {
+		u := i * (n / 2) / 64 // anchors span half the ring: 64 distinct chords
+		pairs = append(pairs, scenario.Pair{u, u + n/2})
+	}
+	net := gradsync.MustNew(gradsync.Config{
+		Topology:     gradsync.RingTopology(n),
+		DiameterHint: n / 2,
+		Drift:        gradsync.TwoGroupDrift(n / 2),
+		Scenario:     &scenario.Churn{Every: 1.5, Pairs: pairs},
+		Seed:         1,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.RunFor(1)
+	}
+	b.StopTimer()
+	events := net.Runtime().Engine.Stepped
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 }
 
 // BenchmarkSweepReplicas measures the multi-seed sweep engine at several

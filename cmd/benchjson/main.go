@@ -3,6 +3,13 @@
 // perf trajectory (see `make bench-json`, which emits BENCH_sweep.json).
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson -out BENCH_sweep.json
+//
+// With -compare it is the trend checker closing that loop: it diffs two
+// record files and exits non-zero when any benchmark regressed beyond the
+// threshold (default 20% ns/op), so CI can flag perf drift across PRs.
+//
+//	benchjson -compare BENCH_baseline.json BENCH_sweep.json
+//	benchjson -threshold 10 -compare old.json new.json
 package main
 
 import (
@@ -13,18 +20,22 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
 
 // Record is one parsed benchmark result line.
 type Record struct {
-	Pkg         string  `json:"pkg"`
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BPerOp      float64 `json:"b_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Pkg        string  `json:"pkg"`
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// EventsPerSec carries the substrate-throughput metric the scale-tier
+	// benchmarks report via b.ReportMetric (E15 / BenchmarkRuntime10k).
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	BPerOp       float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp  int64   `json:"allocs_per_op,omitempty"`
 }
 
 // Report is the emitted JSON document.
@@ -33,7 +44,7 @@ type Report struct {
 }
 
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+[\d.]+ MB/s)?(?:\s+([\d.]+) B/op\s+(\d+) allocs/op)?`)
+	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+[\d.]+ MB/s)?(?:\s+([\d.e+]+) events/sec)?(?:\s+([\d.]+) B/op\s+(\d+) allocs/op)?`)
 
 // procsSuffix is the machine-dependent -GOMAXPROCS suffix go test appends
 // to benchmark names; it is stripped so records key across machines.
@@ -49,8 +60,16 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	out := fs.String("out", "BENCH_sweep.json", "output JSON file")
+	compare := fs.Bool("compare", false, "compare two record files (old new) instead of parsing stdin")
+	threshold := fs.Float64("threshold", 20, "with -compare: max tolerated ns/op regression in percent")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *compare {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-compare needs exactly two files (old new), got %d", fs.NArg())
+		}
+		return compareFiles(fs.Arg(0), fs.Arg(1), *threshold, stdout)
 	}
 
 	report, err := parse(stdin)
@@ -103,10 +122,15 @@ func parse(r io.Reader) (*Report, error) {
 			NsPerOp:    ns,
 		}
 		if m[4] != "" {
-			if rec.BPerOp, err = strconv.ParseFloat(m[4], 64); err != nil {
+			if rec.EventsPerSec, err = strconv.ParseFloat(m[4], 64); err != nil {
+				return nil, fmt.Errorf("bad events/sec in %q: %w", line, err)
+			}
+		}
+		if m[5] != "" {
+			if rec.BPerOp, err = strconv.ParseFloat(m[5], 64); err != nil {
 				return nil, fmt.Errorf("bad B/op in %q: %w", line, err)
 			}
-			if rec.AllocsPerOp, err = strconv.ParseInt(m[5], 10, 64); err != nil {
+			if rec.AllocsPerOp, err = strconv.ParseInt(m[6], 10, 64); err != nil {
 				return nil, fmt.Errorf("bad allocs/op in %q: %w", line, err)
 			}
 		}
@@ -116,4 +140,83 @@ func parse(r io.Reader) (*Report, error) {
 		return nil, err
 	}
 	return report, nil
+}
+
+// loadReport reads a record file previously written by this command.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var report Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &report, nil
+}
+
+// benchKey identifies a benchmark across record files.
+type benchKey struct{ pkg, name string }
+
+// compareFiles diffs two record files and fails on regressions: a benchmark
+// present in both whose ns/op grew by more than threshold percent. New and
+// removed benchmarks are reported but never fail the check, so adding a
+// benchmark (or retiring one) does not break CI.
+func compareFiles(oldPath, newPath string, threshold float64, stdout io.Writer) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	old := make(map[benchKey]Record, len(oldRep.Benchmarks))
+	for _, r := range oldRep.Benchmarks {
+		old[benchKey{r.Pkg, r.Name}] = r
+	}
+
+	var regressions []string
+	matched := 0
+	for _, r := range newRep.Benchmarks {
+		prev, ok := old[benchKey{r.Pkg, r.Name}]
+		if !ok {
+			fmt.Fprintf(stdout, "new       %-50s %12.1f ns/op\n", r.Name, r.NsPerOp)
+			continue
+		}
+		matched++
+		delete(old, benchKey{r.Pkg, r.Name})
+		deltaPct := 0.0
+		if prev.NsPerOp > 0 {
+			deltaPct = (r.NsPerOp - prev.NsPerOp) / prev.NsPerOp * 100
+		}
+		verdict := "ok"
+		if deltaPct > threshold {
+			verdict = "REGRESSED"
+			regressions = append(regressions,
+				fmt.Sprintf("%s %s: %.1f → %.1f ns/op (%+.1f%%, threshold %.0f%%)",
+					r.Pkg, r.Name, prev.NsPerOp, r.NsPerOp, deltaPct, threshold))
+		}
+		fmt.Fprintf(stdout, "%-9s %-50s %12.1f → %-12.1f ns/op  %+.1f%%\n",
+			verdict, r.Name, prev.NsPerOp, r.NsPerOp, deltaPct)
+	}
+	removed := make([]string, 0, len(old))
+	for key := range old {
+		removed = append(removed, key.name)
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Fprintf(stdout, "removed   %-50s\n", name)
+	}
+	if matched == 0 {
+		return fmt.Errorf("no benchmark appears in both %s and %s", oldPath, newPath)
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(stdout, "regression:", r)
+		}
+		return fmt.Errorf("%d of %d matched benchmarks regressed beyond %.0f%% ns/op", len(regressions), matched, threshold)
+	}
+	fmt.Fprintf(stdout, "benchjson: %d matched benchmarks within %.0f%% of baseline\n", matched, threshold)
+	return nil
 }

@@ -19,6 +19,7 @@ ok  	repro/internal/core	2.5s
 pkg: repro
 BenchmarkSweepReplicas/parallel=8-8         	       1	 12345678 ns/op
 BenchmarkThroughput-8 	     100	     250 ns/op	  64.00 MB/s	      16 B/op	       1 allocs/op
+BenchmarkRuntime10k-8 	       3	 627203010 ns/op	    188198 events/sec	  725360 B/op	      22 allocs/op
 ok  	repro	1.2s
 `
 
@@ -36,8 +37,8 @@ func TestParseAndWrite(t *testing.T) {
 	if err := json.Unmarshal(data, &report); err != nil {
 		t.Fatalf("output is not valid JSON: %v", err)
 	}
-	if len(report.Benchmarks) != 3 {
-		t.Fatalf("parsed %d records, want 3", len(report.Benchmarks))
+	if len(report.Benchmarks) != 4 {
+		t.Fatalf("parsed %d records, want 4", len(report.Benchmarks))
 	}
 	first := report.Benchmarks[0]
 	if first.Pkg != "repro/internal/core" || first.Name != "BenchmarkCoreStep" {
@@ -54,6 +55,11 @@ func TestParseAndWrite(t *testing.T) {
 	if third.Name != "BenchmarkThroughput" || third.BPerOp != 16 || third.AllocsPerOp != 1 {
 		t.Errorf("record 2 = %+v (memory stats must survive an MB/s column)", third)
 	}
+	fourth := report.Benchmarks[3]
+	if fourth.Name != "BenchmarkRuntime10k" || fourth.EventsPerSec != 188198 ||
+		fourth.BPerOp != 725360 || fourth.AllocsPerOp != 22 {
+		t.Errorf("record 3 = %+v (events/sec metric must be captured)", fourth)
+	}
 }
 
 func TestRejectsEmptyInput(t *testing.T) {
@@ -61,5 +67,77 @@ func TestRejectsEmptyInput(t *testing.T) {
 	var stdout bytes.Buffer
 	if err := run([]string{"-out", out}, strings.NewReader("no benchmarks here\n"), &stdout); err == nil {
 		t.Fatal("expected an error for input without benchmark lines")
+	}
+}
+
+// writeReport drops a record file for the compare tests.
+func writeReport(t *testing.T, dir, name string, recs ...Record) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(Report{Benchmarks: recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json",
+		Record{Pkg: "p", Name: "BenchmarkA", NsPerOp: 100},
+		Record{Pkg: "p", Name: "BenchmarkGone", NsPerOp: 50})
+	niu := writeReport(t, dir, "new.json",
+		Record{Pkg: "p", Name: "BenchmarkA", NsPerOp: 115}, // +15% < 20%
+		Record{Pkg: "p", Name: "BenchmarkNew", NsPerOp: 10})
+	var stdout bytes.Buffer
+	if err := run([]string{"-compare", old, niu}, strings.NewReader(""), &stdout); err != nil {
+		t.Fatalf("compare within threshold failed: %v\n%s", err, stdout.String())
+	}
+	for _, want := range []string{"BenchmarkNew", "BenchmarkGone", "matched benchmarks within"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("compare output missing %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
+func TestCompareRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", Record{Pkg: "p", Name: "BenchmarkA", NsPerOp: 100})
+	niu := writeReport(t, dir, "new.json", Record{Pkg: "p", Name: "BenchmarkA", NsPerOp: 130})
+	var stdout bytes.Buffer
+	err := run([]string{"-compare", old, niu}, strings.NewReader(""), &stdout)
+	if err == nil {
+		t.Fatalf("30%% regression passed the 20%% threshold:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "REGRESSED") {
+		t.Errorf("output does not flag the regression:\n%s", stdout.String())
+	}
+	// A looser explicit threshold tolerates the same delta.
+	if err := run([]string{"-threshold", "50", "-compare", old, niu}, strings.NewReader(""), &stdout); err != nil {
+		t.Errorf("-threshold 50 still failed: %v", err)
+	}
+}
+
+func TestCompareImprovementNeverFails(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", Record{Pkg: "p", Name: "BenchmarkA", NsPerOp: 200})
+	niu := writeReport(t, dir, "new.json", Record{Pkg: "p", Name: "BenchmarkA", NsPerOp: 90})
+	if err := run([]string{"-compare", old, niu}, strings.NewReader(""), &bytes.Buffer{}); err != nil {
+		t.Fatalf("a 2× improvement failed the check: %v", err)
+	}
+}
+
+func TestCompareDisjointFilesError(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", Record{Pkg: "p", Name: "BenchmarkA", NsPerOp: 1})
+	niu := writeReport(t, dir, "new.json", Record{Pkg: "p", Name: "BenchmarkB", NsPerOp: 1})
+	if err := run([]string{"-compare", old, niu}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Fatal("disjoint record files must error (nothing was actually compared)")
+	}
+	if err := run([]string{"-compare", old}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Fatal("-compare with one file must error")
 	}
 }

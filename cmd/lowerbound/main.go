@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	gradsync "repro"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -45,20 +46,24 @@ func run(args []string, w io.Writer) error {
 		init[i] = offset
 	}
 
-	net, err := gradsync.New(gradsync.Config{
-		Topology:      gradsync.CustomTopology(*n, edges),
-		InitialClocks: init,
-		Seed:          *seed,
-	})
-	if err != nil {
-		return err
-	}
-
 	const (
 		rho     = 0.1 / 60
 		mu      = 0.1
 		mergeAt = 5.0
 	)
+
+	// The merge is a scenario like every other dynamic workload in the
+	// repository: a one-op Script placing the bridge edge at mergeAt.
+	merge := scenario.NewScript(scenario.AddAt(mergeAt, k-1, k))
+	net, err := gradsync.New(gradsync.Config{
+		Topology:      gradsync.CustomTopology(*n, edges),
+		InitialClocks: init,
+		Scenario:      merge,
+		Seed:          *seed,
+	})
+	if err != nil {
+		return err
+	}
 	rateGap := (1+rho)*(1+mu) - (1 - rho)
 	threshold := net.GradientBoundHops(1)
 	tMin := (offset - threshold) / rateGap
@@ -68,11 +73,6 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "gradient threshold for the edge: %.3f\n", threshold)
 	fmt.Fprintf(w, "universal envelope lower bound on stabilization: %.1f time units\n\n", tMin)
 
-	net.At(mergeAt, func(float64) {
-		if err := net.AddEdge(k-1, k); err != nil {
-			fmt.Fprintln(os.Stderr, "lowerbound: AddEdge:", err)
-		}
-	})
 	fmt.Fprintf(w, "%8s %10s %8s\n", "t", "edgeSkew", "")
 	stabilized := -1.0
 	net.Every(tMin/12, func(t float64) {
@@ -84,6 +84,9 @@ func run(args []string, w io.Writer) error {
 		}
 	})
 	net.RunFor(mergeAt + tMin*1.4 + 40)
+	if merge.Err != nil {
+		return fmt.Errorf("merge scenario: %w", merge.Err)
+	}
 
 	fmt.Fprintf(w, "\nskew dropped below the threshold after ≈ %.1f time units (lower bound %.1f, ratio %.2f)\n",
 		stabilized, tMin, stabilized/tMin)

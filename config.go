@@ -287,6 +287,12 @@ type Config struct {
 	KappaFactor float64
 	// GTilde is the static global skew estimate; 0 → derived bound.
 	GTilde float64
+	// DiameterHint, when positive, supplies the hop diameter of the initial
+	// topology to the G̃ derivation, skipping its all-pairs BFS — which is
+	// O(N·E) and dominates construction in the 10⁴-node experiment tier.
+	// Ignored when GTilde is set explicitly; must be the exact diameter (a
+	// wrong hint silently mis-sizes G̃ and the trigger level cap).
+	DiameterHint int
 	// Algorithm selects AOPT or a baseline; zero value → AOPT.
 	Algorithm Algo
 	// Drift is the hardware clock adversary; zero value → NoDrift.

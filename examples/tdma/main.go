@@ -18,6 +18,7 @@ import (
 	"os"
 
 	gradsync "repro"
+	"repro/internal/scenario"
 )
 
 const (
@@ -110,24 +111,22 @@ func run(w io.Writer) error {
 		for i := k; i < nNodes; i++ {
 			init[i] = offset
 		}
+		// The deployment merge is a scenario.Script, like every other
+		// dynamic workload: one bridge edge placed at t=5.
+		merge := scenario.NewScript(scenario.AddAt(5, k-1, k))
 		net, err := gradsync.New(gradsync.Config{
 			Topology:      gradsync.CustomTopology(nNodes, edges),
 			Algorithm:     algo,
 			InitialClocks: init,
+			Scenario:      merge,
 			Seed:          7,
 		})
 		if err != nil {
 			return err
 		}
-		var mergeErr error
-		net.At(5, func(float64) {
-			if err := net.AddEdge(k-1, k); err != nil {
-				mergeErr = err
-			}
-		})
 		c, worst := countCollisions(net, offset/0.04+60, guard, k-1)
-		if mergeErr != nil {
-			return fmt.Errorf("merge edge: %w", mergeErr)
+		if merge.Err != nil {
+			return fmt.Errorf("merge edge: %w", merge.Err)
 		}
 		verdict := "schedule guarantees hold"
 		if worst > guard {

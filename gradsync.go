@@ -229,7 +229,10 @@ func MustNew(cfg Config) *Network {
 // delay uncertainty, the discretization of the integration tick, and the
 // drift-rate gap accumulated over the beacon staleness window.
 func (n *Network) deriveGTilde() float64 {
-	diam := n.initialHopDiameter()
+	diam := n.cfg.DiameterHint
+	if diam <= 0 {
+		diam = n.initialHopDiameter()
+	}
 	perHop := n.link.Uncertainty + 2*n.cfg.Tick +
 		4*n.cfg.Rho*(n.cfg.BeaconInterval+n.link.Delay+n.link.Uncertainty)
 	spread0 := 0.0

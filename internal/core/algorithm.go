@@ -50,7 +50,7 @@ type edgeRec struct {
 	// instead of the Listing 2 offsets.
 	dynamicGrid bool
 
-	check *sim.Event // pending handshake check
+	check sim.Handle // pending handshake check (zero when none)
 }
 
 // Algorithm is the AOPT implementation; it satisfies runner.Algorithm.
@@ -261,10 +261,8 @@ func (a *Algorithm) OnEdgeDown(self, peer int, t sim.Time) {
 	rec.preInserted = false
 	rec.haveTimes = false
 	rec.decaying = false
-	if rec.check != nil {
-		a.rt.Engine.Cancel(rec.check)
-		rec.check = nil
-	}
+	a.rt.Engine.Cancel(rec.check) // stale or zero handles are safe no-ops
+	rec.check = 0
 }
 
 // scheduleLeaderCheck waits at least Δ and until the edge has been visible
@@ -275,7 +273,7 @@ func (a *Algorithm) scheduleLeaderCheck(self int, rec *edgeRec, discovered sim.T
 	needLogical := (1 + a.p.Rho) * (1 + a.p.Mu) * delta
 	var attempt func(t sim.Time)
 	attempt = func(t sim.Time) {
-		rec.check = nil
+		rec.check = 0
 		if !rec.up || rec.upSince != discovered {
 			a.HandshakeAborts++
 			return
@@ -313,7 +311,7 @@ func (a *Algorithm) OnControl(to, from int, payload any, d transport.Delivery) {
 	received := d.At
 	var attempt func(t sim.Time)
 	attempt = func(t sim.Time) {
-		rec.check = nil
+		rec.check = 0
 		if !rec.up || rec.upSince != discovered {
 			a.HandshakeAborts++
 			return

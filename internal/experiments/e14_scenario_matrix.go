@@ -69,6 +69,12 @@ func scenarioCases(n int, quick bool) []scenarioCase {
 			f := &scenario.FlashCrowd{At: 15, Count: 6}
 			return gradsync.LineTopology(n), f, func() (int, error) { return f.Added, f.Err }
 		}},
+		{"churn-waves", false, func(n int) (gradsync.Topology, gradsync.Scenario, func() (int, error)) {
+			// Spacing 0.3 keeps each burst inside the handshake window, so
+			// waves race the insertion protocol like correlated outages do.
+			w := &scenario.ChurnWaves{WaveEvery: 3 * churnEvery, BurstSize: 5, Spacing: 0.3}
+			return gradsync.LineTopology(n), w, func() (int, error) { return w.Toggles, w.Err }
+		}},
 		{"compose", false, func(n int) (gradsync.Topology, gradsync.Scenario, func() (int, error)) {
 			c := &scenario.Churn{Every: 2 * churnEvery}
 			f := &scenario.EdgeFlap{U: 1, V: n - 2, At: 20, Period: 0.3, Flaps: 7}

@@ -122,6 +122,7 @@ func All() []Entry {
 		{"E12", E12Ablations},
 		{"E13", E13InsertionStrategies},
 		{"E14", E14ScenarioMatrix},
+		{"E15", E15LargeScale},
 	}
 }
 

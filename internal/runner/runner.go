@@ -99,6 +99,12 @@ type Runtime struct {
 	started   bool
 	scratch   []int
 	dH        []float64
+
+	// wheel is the beacon wheel: one reusable timer walks the nodes in
+	// staggered order, replacing the N per-node tickers of the old runtime
+	// (at N=10⁴ those tickers alone dominated setup and queue depth).
+	wheel     *sim.Timer
+	wheelSlot uint64
 }
 
 // New builds a runtime. The estimate layer and algorithm are attached
@@ -199,14 +205,24 @@ func (rt *Runtime) Start() error {
 		rt.cfg.Scenario.Install(rt, rt.RNG.Split())
 	}
 	rt.Engine.NewTicker(rt.cfg.Tick, rt.cfg.Tick, rt.step)
-	for u := 0; u < rt.cfg.N; u++ {
-		u := u
-		offset := rt.cfg.BeaconInterval * float64(u) / float64(rt.cfg.N)
-		rt.Engine.NewTicker(offset, rt.cfg.BeaconInterval, func(sim.Time, float64) {
-			rt.sendBeacons(u)
-		})
-	}
+	// Beacon wheel: slot k fires at BeaconInterval·k/N and beacons node
+	// k mod N, giving every node the period BeaconInterval at the same
+	// staggered offsets (u/N · interval) the per-node tickers used — but
+	// from a single pooled event rescheduled in place.
+	rt.wheel = rt.Engine.NewTimer(rt.wheelFire)
+	rt.wheel.Reset(0)
 	return nil
+}
+
+// wheelFire beacons the current slot's node and re-arms the wheel for the
+// next slot. Slot times are computed absolutely (not accumulated), so the
+// stagger stays exact over arbitrarily long runs.
+func (rt *Runtime) wheelFire(sim.Time) {
+	u := int(rt.wheelSlot % uint64(rt.cfg.N))
+	rt.sendBeacons(u)
+	rt.wheelSlot++
+	next := rt.cfg.BeaconInterval * float64(rt.wheelSlot) / float64(rt.cfg.N)
+	rt.wheel.Reset(next)
 }
 
 // Run advances the simulation to the given time.

@@ -1,6 +1,8 @@
 package runner
 
 import (
+	"math"
+	"sort"
 	"testing"
 
 	"repro/internal/drift"
@@ -222,5 +224,77 @@ func TestMessagingLayerReceivesInvalidations(t *testing.T) {
 	rt.Run(4)
 	if _, ok := layer.Estimate(0, 1); ok {
 		t.Fatal("estimate survived edge loss (invalidation not forwarded)")
+	}
+}
+
+// beaconTap records the send time of every beacon delivery per sender.
+type beaconTap struct {
+	fakeAlgo
+	sends map[int][]float64
+}
+
+func (b *beaconTap) OnBeacon(_, from int, _ transport.Beacon, d transport.Delivery) {
+	if b.sends == nil {
+		b.sends = make(map[int][]float64)
+	}
+	b.sends[from] = append(b.sends[from], d.SentAt)
+}
+
+// TestBeaconWheelKeepsPerNodeCadence pins the beacon wheel contract: every
+// node still beacons with period BeaconInterval at its staggered offset
+// interval·u/N, exactly as the old N per-node tickers did.
+func TestBeaconWheelKeepsPerNodeCadence(t *testing.T) {
+	const (
+		n        = 4
+		interval = 0.5
+	)
+	rt, err := New(Config{
+		N: n, Tick: 0.1, BeaconInterval: interval,
+		Drift: drift.Perfect(),
+		Seed:  5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range topo.Line(n) {
+		if err := rt.Dyn.DeclareLink(e.U, e.V, topo.LinkParams{Eps: 0.2, Tau: 0.1, Delay: 0.1, Uncertainty: 0.05}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	algo := &beaconTap{}
+	rt.SetEstimator(estimate.NewOracle(rt.Dyn, func(u int) float64 { return algo.Logical(u) }, nil))
+	rt.Attach(algo)
+	for _, e := range topo.Line(n) {
+		if err := rt.Dyn.AppearInstant(e.U, e.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	rt.Run(10)
+	for u := 0; u < n; u++ {
+		sends := algo.sends[u]
+		if len(sends) < 18 {
+			t.Fatalf("node %d sent %d beacons over 10 units, want ≈ 20", u, len(sends))
+		}
+		offset := interval * float64(u) / n
+		seen := map[float64]bool{}
+		for _, at := range sends {
+			seen[at] = true
+		}
+		// Deduplicate (one send per neighbor) and check the exact schedule.
+		times := make([]float64, 0, len(seen))
+		for at := range seen {
+			times = append(times, at)
+		}
+		sort.Float64s(times)
+		for k, at := range times {
+			want := offset + float64(k)*interval
+			if math.Abs(at-want) > 1e-9 {
+				t.Fatalf("node %d beacon %d sent at %v, want %v (offset %v, period %v)",
+					u, k, at, want, offset, interval)
+			}
+		}
 	}
 }

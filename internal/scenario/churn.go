@@ -87,24 +87,14 @@ func (c *Churn) toggle(t sim.Time) {
 		return
 	}
 	p := c.pool[c.rng.Intn(len(c.pool))]
-	// Resync with the graph: a composed generator may have flipped this
-	// pair since our last visit, and a stale mirror would count phantom
-	// toggles (transitions the topo layer no-ops).
-	if both := c.rt.Dyn.BothUp(p[0], p[1]); both != c.up[p] {
-		c.up[p] = both
-	}
-	var err error
-	if c.up[p] {
-		err = c.rt.CutEdge(p[0], p[1])
-	} else {
-		err = c.rt.AddEdge(p[0], p[1])
-	}
+	applied, err := togglePair(c.rt, c.up, p, "churn")
 	if err != nil {
 		if c.Err == nil {
-			c.Err = edgeErrf("churn", p[0], p[1], err)
+			c.Err = err
 		}
 		return
 	}
-	c.up[p] = !c.up[p]
-	c.Toggles++
+	if applied {
+		c.Toggles++
+	}
 }

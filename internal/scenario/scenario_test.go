@@ -290,3 +290,54 @@ func TestRandomGeometricInitialEdgesConnected(t *testing.T) {
 		}
 	}
 }
+
+func TestChurnWavesBurstsAndProtectsCore(t *testing.T) {
+	w := &ChurnWaves{WaveEvery: 10, BurstSize: 5, Spacing: 0.3}
+	rt := testRuntime(t, 8, w, 7)
+	rt.Run(100)
+	if w.Err != nil {
+		t.Fatalf("churnwaves error: %v", w.Err)
+	}
+	if w.Waves < 8 {
+		t.Fatalf("expected ~10 waves in 100 time units, got %d", w.Waves)
+	}
+	if w.Toggles < 4*w.Waves {
+		t.Errorf("bursts under-delivered: %d toggles over %d waves of size 5", w.Toggles, w.Waves)
+	}
+	// The protected line core must still be fully up.
+	for _, e := range topo.Line(8) {
+		if !rt.Dyn.BothUp(e.U, e.V) {
+			t.Errorf("core edge {%d,%d} was touched by churn waves", e.U, e.V)
+		}
+	}
+}
+
+func TestChurnWavesStopsAtUntil(t *testing.T) {
+	w := &ChurnWaves{WaveEvery: 5, BurstSize: 3, Spacing: 0.2, Until: 20}
+	rt := testRuntime(t, 8, w, 3)
+	rt.Run(21)
+	if w.Err != nil {
+		t.Fatalf("churnwaves error: %v", w.Err)
+	}
+	at20 := w.Toggles
+	if at20 == 0 {
+		t.Fatal("waves never ran before Until")
+	}
+	rt.Run(200)
+	if w.Toggles != at20 {
+		t.Errorf("waves kept toggling after Until: %d → %d", at20, w.Toggles)
+	}
+	// Expired waves must also stop burning engine events.
+	if pending := rt.Engine.Pending(); pending > 40 {
+		t.Errorf("engine still carries %d pending events after expiry", pending)
+	}
+}
+
+func TestChurnWavesRejectsBadPeriod(t *testing.T) {
+	w := &ChurnWaves{}
+	rt := testRuntime(t, 4, w, 1)
+	rt.Run(10)
+	if w.Err == nil {
+		t.Fatal("churn waves with WaveEvery=0 must record an error")
+	}
+}

@@ -1,0 +1,67 @@
+package sim
+
+// Micro-benchmarks for the event engine hot path. The schedule/fire/cancel
+// benchmark is the repo's headline substrate number: it must report
+// 0 allocs/op (pooled event records) and its ops/sec is tracked across PRs
+// via `make bench-json`.
+
+import (
+	"math"
+	"testing"
+)
+
+// BenchmarkEngineScheduleFireCancel exercises the full event lifecycle the
+// simulation substrate sees per message: two schedules, one cancel, and the
+// fire of the survivor (amortized via periodic drains).
+func BenchmarkEngineScheduleFireCancel(b *testing.B) {
+	e := NewEngine()
+	fn := func(Time) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		keep := e.After(1, fn)
+		drop := e.After(2, fn)
+		e.Cancel(drop)
+		_ = keep
+		if i%1024 == 1023 {
+			e.RunUntil(e.Now() + 3)
+		}
+	}
+	e.RunUntil(e.Now() + 3)
+}
+
+// BenchmarkEngineScheduleFire is the cancel-free path (pure queue churn).
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	e := NewEngine()
+	fn := func(Time) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(1, fn)
+		if i%1024 == 1023 {
+			e.RunUntil(e.Now() + 2)
+		}
+	}
+	e.RunUntil(e.Now() + 2)
+}
+
+// BenchmarkEngineDeepQueue keeps a standing population of 4096 events so the
+// heap operations run at realistic depth (a 10k-node run holds tens of
+// thousands of in-flight deliveries).
+func BenchmarkEngineDeepQueue(b *testing.B) {
+	e := NewEngine()
+	fn := func(Time) {}
+	for i := 0; i < 4096; i++ {
+		e.After(1e9+float64(i), fn) // standing backlog, never fires
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(1, fn)
+		if i%1024 == 1023 {
+			e.RunUntil(e.Now() + 2)
+		}
+	}
+	e.RunUntil(e.Now() + 2)
+	e.RunUntil(math.Inf(1))
+}

@@ -3,10 +3,16 @@
 // clock synchronization model of Kuhn, Lenzen, Locher and Oshman (PODC 2010)
 // is executed: message deliveries, topology changes and handshake timeouts
 // are events; algorithms additionally run on a fixed integration tick.
+//
+// The engine is built for scale (10⁴-node experiments schedule hundreds of
+// millions of events): event records live in a pooled slab addressed by a
+// 4-ary index min-heap, so the steady-state schedule/fire/cancel path
+// performs zero heap allocations. Callers hold Handles — generation-tagged
+// indices — instead of pointers, which makes cancelling a fired or recycled
+// event a safe no-op.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -16,24 +22,37 @@ import (
 // unit conventions used by the experiments.
 type Time = float64
 
-// Event is a scheduled callback. Events with equal times fire in scheduling
-// order (FIFO), which keeps executions deterministic.
-type Event struct {
-	At  Time
-	Fn  func(t Time)
-	seq uint64
-	idx int // heap index; -1 once popped or cancelled
+// Handle identifies a scheduled event. The zero Handle refers to no event;
+// Cancel of a zero, fired or stale handle is a no-op. A handle becomes stale
+// the moment its event fires or is cancelled — the underlying pooled record
+// is recycled, but the generation tag keeps the old handle from ever
+// touching the new tenant.
+type Handle uint64
+
+// handleFor packs a slab slot and its generation. Slot indices are stored
+// +1 so the zero Handle never aliases slot 0.
+func handleFor(slot int32, gen uint32) Handle {
+	return Handle(uint64(gen)<<32 | uint64(uint32(slot)+1))
 }
 
-// Cancelled reports whether the event has been cancelled or already fired.
-func (e *Event) Cancelled() bool { return e == nil || e.idx < 0 }
+// eventRec is one pooled event record. Records are reused through a free
+// list; gen increments on every release so stale Handles miss.
+type eventRec struct {
+	at  Time
+	fn  func(t Time)
+	seq uint64
+	gen uint32
+	pos int32 // index in Engine.heap; -1 while free
+}
 
 // Engine owns the simulated clock and the event queue.
 //
 // The zero value is not usable; create engines with NewEngine.
 type Engine struct {
 	now     Time
-	queue   eventQueue
+	recs    []eventRec // pooled record slab; Handles index into it
+	free    []int32    // recycled slots
+	heap    []int32    // 4-ary min-heap of slots, ordered by (at, seq)
 	nextSeq uint64
 	stopped bool
 	// Stepped counts executed events, for diagnostics and tests.
@@ -48,10 +67,46 @@ func NewEngine() *Engine {
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
+// alloc takes a record slot from the free list, growing the slab only when
+// the pool is dry (steady state never grows).
+func (e *Engine) alloc() int32 {
+	if n := len(e.free); n > 0 {
+		slot := e.free[n-1]
+		e.free = e.free[:n-1]
+		return slot
+	}
+	e.recs = append(e.recs, eventRec{pos: -1})
+	return int32(len(e.recs) - 1)
+}
+
+// release returns a slot to the pool. The generation bump invalidates every
+// outstanding Handle to it; dropping fn releases captured state.
+func (e *Engine) release(slot int32) {
+	r := &e.recs[slot]
+	r.fn = nil
+	r.pos = -1
+	r.gen++
+	e.free = append(e.free, slot)
+}
+
+// lookup resolves a Handle to a live slot, or ok=false for zero, fired,
+// cancelled or recycled handles.
+func (e *Engine) lookup(h Handle) (int32, bool) {
+	slot := int32(uint32(h)) - 1
+	if slot < 0 || int(slot) >= len(e.recs) {
+		return 0, false
+	}
+	r := &e.recs[slot]
+	if r.gen != uint32(h>>32) || r.pos < 0 {
+		return 0, false
+	}
+	return slot, true
+}
+
 // Schedule registers fn to run at absolute time at. Scheduling in the past
 // (before Now) is an error in the caller; the engine clamps it to Now so the
 // event still fires, but panics in debug builds of tests via Validate.
-func (e *Engine) Schedule(at Time, fn func(t Time)) *Event {
+func (e *Engine) Schedule(at Time, fn func(t Time)) Handle {
 	if fn == nil {
 		panic("sim: Schedule called with nil function")
 	}
@@ -61,25 +116,65 @@ func (e *Engine) Schedule(at Time, fn func(t Time)) *Event {
 	if at < e.now {
 		at = e.now
 	}
-	ev := &Event{At: at, Fn: fn, seq: e.nextSeq}
+	slot := e.alloc()
+	r := &e.recs[slot]
+	r.at = at
+	r.fn = fn
+	r.seq = e.nextSeq
 	e.nextSeq++
-	heap.Push(&e.queue, ev)
-	return ev
+	r.pos = int32(len(e.heap))
+	e.heap = append(e.heap, slot)
+	e.siftUp(int(r.pos))
+	return handleFor(slot, r.gen)
 }
 
 // After registers fn to run d time units after Now.
-func (e *Engine) After(d float64, fn func(t Time)) *Event {
+func (e *Engine) After(d float64, fn func(t Time)) Handle {
 	return e.Schedule(e.now+d, fn)
 }
 
-// Cancel removes a pending event from the queue. Cancelling a nil, fired or
-// already-cancelled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.idx < 0 {
+// Cancel removes a pending event from the queue. Cancelling a zero, fired,
+// already-cancelled or recycled handle is a no-op.
+func (e *Engine) Cancel(h Handle) {
+	slot, ok := e.lookup(h)
+	if !ok {
 		return
 	}
-	heap.Remove(&e.queue, ev.idx)
-	ev.idx = -1
+	e.removeAt(int(e.recs[slot].pos))
+	e.release(slot)
+}
+
+// Active reports whether the handle still refers to a pending event (it does
+// not once the event fires, is cancelled, or the handle is zero).
+func (e *Engine) Active(h Handle) bool {
+	_, ok := e.lookup(h)
+	return ok
+}
+
+// reschedule moves a pending event to a new time in place — the record and
+// its heap slot are reused — or schedules fn fresh when the handle is stale.
+// Either way the event counts as newly scheduled for FIFO tie-breaking.
+func (e *Engine) reschedule(h Handle, at Time, fn func(t Time)) Handle {
+	slot, ok := e.lookup(h)
+	if !ok {
+		return e.Schedule(at, fn)
+	}
+	if math.IsNaN(at) {
+		panic("sim: reschedule to NaN time")
+	}
+	if at < e.now {
+		at = e.now
+	}
+	r := &e.recs[slot]
+	r.at = at
+	r.seq = e.nextSeq
+	e.nextSeq++
+	pos := int(r.pos)
+	e.siftDown(pos)
+	if int(e.recs[slot].pos) == pos {
+		e.siftUp(pos)
+	}
+	return h
 }
 
 // Stop makes the current Run call return after the in-flight event completes.
@@ -90,18 +185,21 @@ func (e *Engine) Stop() { e.stopped = true }
 // Run was stopped).
 func (e *Engine) RunUntil(horizon Time) {
 	e.stopped = false
-	for e.queue.Len() > 0 && !e.stopped {
-		next := e.queue[0]
-		if next.At > horizon {
+	for len(e.heap) > 0 && !e.stopped {
+		slot := e.heap[0]
+		r := &e.recs[slot]
+		if r.at > horizon {
 			break
 		}
-		heap.Pop(&e.queue)
-		next.idx = -1
-		if next.At > e.now {
-			e.now = next.At
+		at, fn := r.at, r.fn
+		e.removeAt(0)
+		// Release before firing so fn's own scheduling reuses the record.
+		e.release(slot)
+		if at > e.now {
+			e.now = at
 		}
 		e.Stepped++
-		next.Fn(e.now)
+		fn(e.now)
 	}
 	if !e.stopped && e.now < horizon {
 		e.now = horizon
@@ -109,14 +207,139 @@ func (e *Engine) RunUntil(horizon Time) {
 }
 
 // Pending returns the number of events currently queued.
-func (e *Engine) Pending() int { return e.queue.Len() }
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // PeekNext returns the time of the earliest pending event, or +Inf if none.
 func (e *Engine) PeekNext() Time {
-	if e.queue.Len() == 0 {
+	if len(e.heap) == 0 {
 		return math.Inf(1)
 	}
-	return e.queue[0].At
+	return e.recs[e.heap[0]].at
+}
+
+// less orders slots by (at, seq); the seq tie-break preserves the FIFO
+// contract for events scheduled at equal times.
+func (e *Engine) less(a, b int32) bool {
+	ra, rb := &e.recs[a], &e.recs[b]
+	if ra.at != rb.at {
+		return ra.at < rb.at
+	}
+	return ra.seq < rb.seq
+}
+
+// siftUp restores heap order from position i towards the root.
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	slot := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !e.less(slot, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		e.recs[h[i]].pos = int32(i)
+		i = p
+	}
+	h[i] = slot
+	e.recs[slot].pos = int32(i)
+}
+
+// siftDown restores heap order from position i towards the leaves. The 4-ary
+// layout halves tree depth versus binary, which dominates pop cost on the
+// deep queues large runs build up.
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	slot := h[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if e.less(h[j], h[best]) {
+				best = j
+			}
+		}
+		if !e.less(h[best], slot) {
+			break
+		}
+		h[i] = h[best]
+		e.recs[h[i]].pos = int32(i)
+		i = best
+	}
+	h[i] = slot
+	e.recs[slot].pos = int32(i)
+}
+
+// removeAt deletes the heap entry at position i (the slot itself is not
+// released; the caller decides whether to recycle or rebind it).
+func (e *Engine) removeAt(i int) {
+	n := len(e.heap) - 1
+	last := e.heap[n]
+	e.heap = e.heap[:n]
+	if i == n {
+		return
+	}
+	e.heap[i] = last
+	e.recs[last].pos = int32(i)
+	e.siftDown(i)
+	if int(e.recs[last].pos) == i {
+		e.siftUp(i)
+	}
+}
+
+// Timer is a reusable scheduled callback: the function is bound once and
+// Reset re-arms (or moves) the event without allocating, reusing the pooled
+// record and heap slot when the timer is still pending. Recurring machinery
+// — tickers, the runner's beacon wheel, the transport dispatch loop — runs
+// on Timers so steady-state operation schedules nothing new.
+type Timer struct {
+	engine *Engine
+	fn     func(t Time)
+	// fireFn is t.fire bound once at construction, so re-arming never
+	// allocates a fresh method value.
+	fireFn func(t Time)
+	h      Handle
+}
+
+// NewTimer binds fn to a reusable timer. The timer starts un-armed; call
+// Reset or After to schedule it.
+func (e *Engine) NewTimer(fn func(t Time)) *Timer {
+	if fn == nil {
+		panic("sim: NewTimer called with nil function")
+	}
+	t := &Timer{engine: e, fn: fn}
+	t.fireFn = t.fire
+	return t
+}
+
+// Reset arms the timer to fire at absolute time at, superseding any pending
+// firing. A reset timer counts as freshly scheduled for FIFO tie-breaking.
+func (t *Timer) Reset(at Time) {
+	t.h = t.engine.reschedule(t.h, at, t.fireFn)
+}
+
+// After arms the timer to fire d time units from now.
+func (t *Timer) After(d float64) { t.Reset(t.engine.now + d) }
+
+// Stop disarms the timer; a stopped timer can be re-armed with Reset.
+func (t *Timer) Stop() {
+	t.engine.Cancel(t.h)
+	t.h = 0
+}
+
+// Pending reports whether the timer is currently armed.
+func (t *Timer) Pending() bool { return t.engine.Active(t.h) }
+
+func (t *Timer) fire(now Time) {
+	t.h = 0
+	t.fn(now)
 }
 
 // Ticker invokes fn every interval units of simulated time, starting at
@@ -124,11 +347,10 @@ func (e *Engine) PeekNext() Time {
 // callback receives the tick time and the elapsed time since the previous
 // tick (equal to interval except possibly for the first tick).
 type Ticker struct {
-	engine   *Engine
+	timer    *Timer
 	interval float64
 	fn       func(t Time, dt float64)
 	last     Time
-	ev       *Event
 	stopped  bool
 }
 
@@ -137,8 +359,9 @@ func (e *Engine) NewTicker(start Time, interval float64, fn func(t Time, dt floa
 	if interval <= 0 {
 		panic(fmt.Sprintf("sim: ticker interval must be positive, got %v", interval))
 	}
-	tk := &Ticker{engine: e, interval: interval, fn: fn, last: start - interval}
-	tk.ev = e.Schedule(start, tk.fire)
+	tk := &Ticker{interval: interval, fn: fn, last: start - interval}
+	tk.timer = e.NewTimer(tk.fire)
+	tk.timer.Reset(start)
 	return tk
 }
 
@@ -150,46 +373,12 @@ func (tk *Ticker) fire(t Time) {
 	tk.last = t
 	tk.fn(t, dt)
 	if !tk.stopped {
-		tk.ev = tk.engine.Schedule(t+tk.interval, tk.fire)
+		tk.timer.Reset(t + tk.interval)
 	}
 }
 
 // Stop cancels the ticker; no further ticks fire.
 func (tk *Ticker) Stop() {
 	tk.stopped = true
-	tk.engine.Cancel(tk.ev)
-}
-
-// eventQueue is a min-heap on (At, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].At != q[j].At {
-		return q[i].At < q[j].At
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.idx = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.idx = -1
-	*q = old[:n-1]
-	return ev
+	tk.timer.Stop()
 }

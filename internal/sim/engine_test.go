@@ -70,16 +70,83 @@ func TestEngineCancel(t *testing.T) {
 	fired := false
 	ev := e.Schedule(1, func(Time) { fired = true })
 	e.Cancel(ev)
-	if !ev.Cancelled() {
-		t.Error("event not marked cancelled")
+	if e.Active(ev) {
+		t.Error("handle still active after Cancel")
 	}
 	e.RunUntil(2)
 	if fired {
 		t.Error("cancelled event fired")
 	}
-	// Cancelling again (and cancelling nil) must be safe.
+	// Cancelling again (and cancelling the zero handle) must be safe.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(Handle(0))
+}
+
+func TestTimerResetMovesPendingEvent(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	tm := e.NewTimer(func(now Time) { fired = append(fired, now) })
+	tm.Reset(5)
+	tm.Reset(2) // supersedes the first arming; only one firing results
+	if !tm.Pending() {
+		t.Fatal("armed timer not pending")
+	}
+	e.RunUntil(10)
+	if len(fired) != 1 || fired[0] != 2 {
+		t.Fatalf("fired = %v, want [2]", fired)
+	}
+	if tm.Pending() {
+		t.Error("fired timer still pending")
+	}
+	// Re-arming after a firing works (the record is re-acquired from the pool).
+	tm.Reset(12)
+	e.RunUntil(20)
+	if len(fired) != 2 || fired[1] != 12 {
+		t.Fatalf("fired = %v, want [2 12]", fired)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	tm := e.NewTimer(func(Time) { count++ })
+	tm.Reset(1)
+	tm.Stop()
+	if tm.Pending() {
+		t.Error("stopped timer still pending")
+	}
+	e.RunUntil(5)
+	if count != 0 {
+		t.Fatalf("stopped timer fired %d times", count)
+	}
+	tm.Stop() // double-stop and stopping an un-armed timer are no-ops
+	tm.Reset(6)
+	e.RunUntil(10)
+	if count != 1 {
+		t.Fatalf("re-armed timer fired %d times, want 1", count)
+	}
+}
+
+func TestTimerResetKeepsFIFOFreshness(t *testing.T) {
+	// A timer reset to a time where other events already wait fires after
+	// them: rescheduling counts as a fresh Schedule for tie-breaking.
+	e := NewEngine()
+	var order []string
+	tm := e.NewTimer(func(Time) { order = append(order, "timer") })
+	tm.Reset(1)
+	e.Schedule(3, func(Time) { order = append(order, "a") })
+	e.Schedule(3, func(Time) { order = append(order, "b") })
+	tm.Reset(3)
+	e.RunUntil(5)
+	want := []string{"a", "b", "timer"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
 }
 
 func TestEngineScheduleInsidePastClampsToNow(t *testing.T) {

@@ -125,7 +125,7 @@ type Churn struct {
 	up map[EdgeID]bool
 	// Interval is the mean time between churn events.
 	interval float64
-	ticker   *sim.Event
+	ticker   sim.Handle
 	stopped  bool
 	// Toggles counts executed churn operations.
 	Toggles int

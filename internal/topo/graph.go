@@ -83,7 +83,7 @@ type edge struct {
 	up      [2]bool
 	upSince [2]sim.Time
 	// pending transitions, so a flap cancels outstanding events.
-	pending [2]*sim.Event
+	pending [2]sim.Handle
 }
 
 func (e *edge) side(u int) int {
@@ -209,12 +209,10 @@ func (d *Dynamic) detectionLag(e *edge) float64 {
 // transition schedules the visibility flip of one side after lag time units.
 // An outstanding pending transition for that side is superseded.
 func (d *Dynamic) transition(e *edge, side int, up bool, lag float64) {
-	if e.pending[side] != nil {
-		d.engine.Cancel(e.pending[side])
-		e.pending[side] = nil
-	}
+	d.engine.Cancel(e.pending[side]) // no-op for the zero or stale handle
+	e.pending[side] = 0
 	apply := func(t sim.Time) {
-		e.pending[side] = nil
+		e.pending[side] = 0
 		if e.up[side] == up {
 			return
 		}

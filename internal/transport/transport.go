@@ -83,16 +83,61 @@ func (s ShiftDelay) Draw(_ *sim.RNG, from, to int, p topo.LinkParams) float64 {
 	return p.Delay
 }
 
+// msgKind tags a pooled in-flight message.
+type msgKind uint8
+
+const (
+	msgBeacon msgKind = iota
+	msgControl
+)
+
+// message is one pooled in-flight record. Records are recycled through a
+// free list, so the steady-state send/deliver path allocates nothing (beacon
+// payloads are stored by value; control payloads box whatever the caller
+// sends, which is the caller's allocation).
+type message struct {
+	kind       msgKind
+	from, to   int32
+	seq        uint64
+	deadline   sim.Time
+	sentAt     sim.Time
+	minTransit float64
+	beacon     Beacon
+	payload    any
+	pos        int32 // index in Network.heap; -1 while free
+}
+
 // Network schedules deliveries over a dynamic graph. A message is delivered
 // only if the receiver still sees the sender at delivery time; this matches
 // the model's guarantee that delivery is assured only while the estimate
 // edge persists at the receiver.
+//
+// In-flight messages live in a pooled deadline queue drained by a single
+// dispatch timer: one engine event per delivery deadline instead of one
+// closure-capturing event per message. Messages sharing a deadline deliver
+// in send order (FIFO). Accepted semantics change vs the per-message-event
+// substrate: all messages due at time T deliver at the dispatch timer's
+// position among T's engine events, not at each message's own scheduling
+// position, so tie-instant interleavings with e.g. visibility flips can
+// differ from the old engine — executions remain fully deterministic.
+//
+// The slab/free-list/4-ary-heap machinery deliberately mirrors
+// internal/sim's event queue (see Engine); a change to either sift or
+// removal routine should be applied to both.
 type Network struct {
 	engine  *sim.Engine
 	dyn     *topo.Dynamic
 	rng     *sim.RNG
 	policy  DelayPolicy
 	handler Handler
+
+	msgs     []message // pooled record slab
+	free     []int32   // recycled slots
+	heap     []int32   // 4-ary min-heap of slots, ordered by (deadline, seq)
+	nextSeq  uint64
+	dispatch *sim.Timer
+	armedAt  sim.Time
+
 	// Sent and Dropped count messages for diagnostics.
 	Sent    uint64
 	Dropped uint64
@@ -104,7 +149,9 @@ func NewNetwork(engine *sim.Engine, dyn *topo.Dynamic, rng *sim.RNG, policy Dela
 	if policy == nil {
 		policy = RandomDelay{}
 	}
-	return &Network{engine: engine, dyn: dyn, rng: rng, policy: policy}
+	n := &Network{engine: engine, dyn: dyn, rng: rng, policy: policy}
+	n.dispatch = engine.NewTimer(n.drain)
+	return n
 }
 
 // SetHandler installs the traffic handler.
@@ -120,9 +167,9 @@ func (n *Network) SendBeacon(from, to int, b Beacon) {
 	if !ok {
 		return
 	}
-	n.send(from, to, params, func(d Delivery) {
-		n.handler.OnBeacon(to, from, b, d)
-	})
+	m := n.send(from, to, params)
+	m.kind = msgBeacon
+	m.beacon = b
 }
 
 // SendControl transmits an arbitrary control payload (handshake messages).
@@ -131,9 +178,9 @@ func (n *Network) SendControl(from, to int, payload any) {
 	if !ok {
 		return
 	}
-	n.send(from, to, params, func(d Delivery) {
-		n.handler.OnControl(to, from, payload, d)
-	})
+	m := n.send(from, to, params)
+	m.kind = msgControl
+	m.payload = payload
 }
 
 // BroadcastBeacon sends the beacon to every neighbor currently visible to
@@ -146,8 +193,11 @@ func (n *Network) BroadcastBeacon(from int, b Beacon, scratch []int) []int {
 	return scratch
 }
 
-func (n *Network) send(from, to int, params topo.LinkParams, deliver func(Delivery)) {
-	sentAt := n.engine.Now()
+// send enqueues a pooled message record for the drawn delay and arms the
+// dispatch timer if this deadline is now the earliest. The caller fills in
+// the kind-specific payload on the returned record before any other
+// transport call.
+func (n *Network) send(from, to int, params topo.LinkParams) *message {
 	delay := n.policy.Draw(n.rng, from, to, params)
 	if delay < params.Delay-params.Uncertainty {
 		delay = params.Delay - params.Uncertainty
@@ -156,17 +206,150 @@ func (n *Network) send(from, to int, params topo.LinkParams, deliver func(Delive
 		delay = params.Delay
 	}
 	n.Sent++
-	n.engine.After(delay, func(t sim.Time) {
-		if n.handler == nil || !n.dyn.Sees(to, from) {
-			n.Dropped++
-			return
+	slot := n.alloc()
+	m := &n.msgs[slot]
+	m.from = int32(from)
+	m.to = int32(to)
+	m.seq = n.nextSeq
+	n.nextSeq++
+	m.sentAt = n.engine.Now()
+	m.deadline = m.sentAt + delay
+	m.minTransit = params.Delay - params.Uncertainty
+	m.pos = int32(len(n.heap))
+	n.heap = append(n.heap, slot)
+	n.siftUp(int(m.pos))
+	if !n.dispatch.Pending() || m.deadline < n.armedAt {
+		n.armedAt = m.deadline
+		n.dispatch.Reset(m.deadline)
+	}
+	return m
+}
+
+// drain delivers every message whose deadline has arrived, in (deadline,
+// send-order) sequence, then re-arms the dispatch timer for the next
+// deadline.
+func (n *Network) drain(t sim.Time) {
+	for len(n.heap) > 0 {
+		slot := n.heap[0]
+		m := &n.msgs[slot]
+		if m.deadline > t {
+			break
 		}
-		deliver(Delivery{
+		// Copy out before releasing: the handler may send, growing the slab.
+		kind, from, to := m.kind, int(m.from), int(m.to)
+		beacon, payload := m.beacon, m.payload
+		d := Delivery{
 			From:       from,
 			To:         to,
-			SentAt:     sentAt,
+			SentAt:     m.sentAt,
 			At:         t,
-			MinTransit: params.Delay - params.Uncertainty,
-		})
-	})
+			MinTransit: m.minTransit,
+		}
+		n.removeAt(0)
+		n.release(slot)
+		if n.handler == nil || !n.dyn.Sees(to, from) {
+			n.Dropped++
+			continue
+		}
+		if kind == msgBeacon {
+			n.handler.OnBeacon(to, from, beacon, d)
+		} else {
+			n.handler.OnControl(to, from, payload, d)
+		}
+	}
+	if len(n.heap) > 0 {
+		n.armedAt = n.msgs[n.heap[0]].deadline
+		n.dispatch.Reset(n.armedAt)
+	}
+}
+
+// alloc takes a message slot from the free list, growing the slab only when
+// the pool is dry.
+func (n *Network) alloc() int32 {
+	if l := len(n.free); l > 0 {
+		slot := n.free[l-1]
+		n.free = n.free[:l-1]
+		return slot
+	}
+	n.msgs = append(n.msgs, message{pos: -1})
+	return int32(len(n.msgs) - 1)
+}
+
+// release recycles a slot; dropping the payload releases boxed control
+// messages.
+func (n *Network) release(slot int32) {
+	m := &n.msgs[slot]
+	m.payload = nil
+	m.pos = -1
+	n.free = append(n.free, slot)
+}
+
+// less orders slots by (deadline, seq) — FIFO among equal deadlines.
+func (n *Network) less(a, b int32) bool {
+	ma, mb := &n.msgs[a], &n.msgs[b]
+	if ma.deadline != mb.deadline {
+		return ma.deadline < mb.deadline
+	}
+	return ma.seq < mb.seq
+}
+
+func (n *Network) siftUp(i int) {
+	h := n.heap
+	slot := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !n.less(slot, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		n.msgs[h[i]].pos = int32(i)
+		i = p
+	}
+	h[i] = slot
+	n.msgs[slot].pos = int32(i)
+}
+
+func (n *Network) siftDown(i int) {
+	h := n.heap
+	l := len(h)
+	slot := h[i]
+	for {
+		c := i<<2 + 1
+		if c >= l {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > l {
+			end = l
+		}
+		for j := c + 1; j < end; j++ {
+			if n.less(h[j], h[best]) {
+				best = j
+			}
+		}
+		if !n.less(h[best], slot) {
+			break
+		}
+		h[i] = h[best]
+		n.msgs[h[i]].pos = int32(i)
+		i = best
+	}
+	h[i] = slot
+	n.msgs[slot].pos = int32(i)
+}
+
+func (n *Network) removeAt(i int) {
+	l := len(n.heap) - 1
+	last := n.heap[l]
+	n.heap = n.heap[:l]
+	if i == l {
+		return
+	}
+	n.heap[i] = last
+	n.msgs[last].pos = int32(i)
+	n.siftDown(i)
+	if int(n.msgs[last].pos) == i {
+		n.siftUp(i)
+	}
 }

@@ -159,3 +159,52 @@ func TestRandomDelayWithinWindowProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSameDeadlineFIFO pins the dispatch contract: messages drawn to the
+// same delivery deadline (MaxDelay makes every delay identical) deliver in
+// send order, even though one dispatch event drains them all.
+func TestSameDeadlineFIFO(t *testing.T) {
+	eng, _, net, cap := setup(t, MaxDelay{})
+	for i := 0; i < 8; i++ {
+		net.SendControl(0, 1, i)
+	}
+	net.SendBeacon(0, 1, Beacon{L: 42})
+	eng.RunUntil(1)
+	if len(cap.payloads) != 8 || len(cap.values) != 1 {
+		t.Fatalf("delivered %d controls and %d beacons, want 8 and 1", len(cap.payloads), len(cap.values))
+	}
+	for i, p := range cap.payloads {
+		if p.(int) != i {
+			t.Fatalf("same-deadline deliveries out of send order: %v", cap.payloads)
+		}
+	}
+}
+
+// TestMessagePoolRecycles checks the in-flight record pool: sustained
+// traffic must not grow the slab beyond the peak in-flight population, and
+// recycled records must not leak payloads across messages.
+func TestMessagePoolRecycles(t *testing.T) {
+	eng, _, net, cap := setup(t, MaxDelay{})
+	for round := 0; round < 500; round++ {
+		net.SendControl(0, 1, round)
+		net.SendBeacon(1, 0, Beacon{L: float64(round)})
+		eng.RunUntil(eng.Now() + 1)
+	}
+	if slab := len(net.msgs); slab > 8 {
+		t.Fatalf("message slab grew to %d for ≤2 in-flight messages — pool not recycling", slab)
+	}
+	if len(cap.payloads) != 500 || len(cap.values) != 500 {
+		t.Fatalf("delivered %d controls / %d beacons, want 500 each", len(cap.payloads), len(cap.values))
+	}
+	for i, p := range cap.payloads {
+		if p.(int) != i {
+			t.Fatalf("payload %d = %v (recycled record aliased another message)", i, p)
+		}
+	}
+	// Released records must have dropped their payload references.
+	for i := range net.msgs {
+		if net.msgs[i].pos < 0 && net.msgs[i].payload != nil {
+			t.Fatalf("free record %d still holds a payload reference", i)
+		}
+	}
+}
