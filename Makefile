@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-diff bench-baseline suite ci
+.PHONY: all build vet test race lint cover bench bench-json bench-diff bench-baseline bench-large suite suite-large ci
 
 all: build test
 
@@ -12,8 +12,25 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Static analysis beyond vet. The tree (including the -tags large files)
+# must stay clean. staticcheck is not vendored; the lint CI job installs it,
+# and a machine without it still gets the vet pass instead of a hard error.
+lint: vet
+	$(GO) vet -tags large ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... && staticcheck -tags large ./...; \
+	else \
+		echo "lint: staticcheck not installed; ran go vet only (CI installs it)"; \
+	fi
+
 test:
 	$(GO) test ./...
+
+# Coverage profile for the whole module; CI uploads coverage.out as an
+# artifact alongside BENCH_sweep.json.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 # The sweep layer fans replicas across goroutines; the race target proves
 # the concurrent paths clean (the determinism tests run replicated
@@ -48,8 +65,20 @@ bench-diff: bench-json
 bench-baseline: bench-json
 	cp BENCH_sweep.json BENCH_baseline.json
 
+# The N=10⁵ throughput rung. Nightly-only: -tags large compiles the
+# extreme-scale sizing of E16 and the 100k-node benchmark; PR CI never
+# builds with the tag, so the big tier cannot slow interactive pipelines.
+# The E16 bench re-runs the tier's shape assertions at full size.
+bench-large:
+	$(GO) test -tags large -run '^$$' -bench 'BenchmarkRuntime100k|BenchmarkE16ExtremeScale' -benchmem -benchtime=1x .
+
 # The full reproduction report with multi-seed aggregation.
 suite:
 	$(GO) run ./cmd/experiments -seeds 8 -parallel 8
+
+# The large tiers at full nightly size (E15 at 10⁴, E16 at 10⁵), written to
+# E_LARGE_report.txt for the nightly artifact upload.
+suite-large:
+	$(GO) run -tags large ./cmd/experiments -only E15,E16 -out E_LARGE_report.txt
 
 ci: build vet test race

@@ -118,6 +118,10 @@ func BenchmarkE15LargeScale(b *testing.B) {
 	benchExperiment(b, experiments.E15LargeScale)
 }
 
+func BenchmarkE16ExtremeScaleQuick(b *testing.B) {
+	benchExperiment(b, experiments.E16ExtremeScale)
+}
+
 // BenchmarkRuntime10k is the scale-tier throughput record: one simulated
 // time unit on a 10 000-node ring with chord churn running (50 integration
 // ticks, 40k beacons, their deliveries, and the churn handshakes). The

@@ -1,4 +1,4 @@
-// Command experiments runs the full reproduction suite (E01–E14, one per
+// Command experiments runs the full reproduction suite (E01–E16, one per
 // theorem-level claim of the paper; see EXPERIMENTS.md) and prints the
 // result tables. Use -quick for bench-sized runs, -only to select
 // experiments, and -seeds/-parallel to aggregate independent adversary

@@ -289,9 +289,11 @@ type Config struct {
 	GTilde float64
 	// DiameterHint, when positive, supplies the hop diameter of the initial
 	// topology to the G̃ derivation, skipping its all-pairs BFS — which is
-	// O(N·E) and dominates construction in the 10⁴-node experiment tier.
-	// Ignored when GTilde is set explicitly; must be the exact diameter (a
-	// wrong hint silently mis-sizes G̃ and the trigger level cap).
+	// O(N·E) and dominates construction in the large experiment tiers.
+	// Ignored when GTilde is set explicitly. An over-estimate is safe: it
+	// only loosens the derived G̃ (which must upper-bound the true global
+	// skew) and the trigger level cap. An under-estimate silently mis-sizes
+	// both and is a bug.
 	DiameterHint int
 	// Algorithm selects AOPT or a baseline; zero value → AOPT.
 	Algorithm Algo

@@ -78,7 +78,13 @@ type Algorithm struct {
 	// OverrideDeltaFraction for the E12 ablation.
 	deltaFraction float64
 
-	// evals is scratch for trigger evaluation.
+	// refTriggers switches trigger evaluation to the reference double loop
+	// (the literal Definitions 4.5–4.7 scan over every level s). It exists
+	// only so the differential and fuzz tests can pin the single-pass
+	// engine to byte-identical decisions; production always uses the fold.
+	refTriggers bool
+
+	// evals is scratch for the reference trigger evaluation.
 	evals []edgeEval
 
 	// Counters (diagnostics; tests assert on several).
@@ -111,6 +117,12 @@ func MustNew(p Params) *Algorithm {
 
 // Name implements runner.Algorithm.
 func (a *Algorithm) Name() string { return "aopt" }
+
+// SetReferenceTriggers switches between the single-pass trigger engine
+// (false, the default) and the reference per-level double loop (true). The
+// two are pinned byte-identical by the differential tests; the switch exists
+// so those tests (and ablation debugging) can run the literal definition.
+func (a *Algorithm) SetReferenceTriggers(ref bool) { a.refTriggers = ref }
 
 // OverrideDeltaFraction repositions the slow-trigger slack δ_e at the given
 // fraction of its legal range (0, κ/2−2ε−2µτ). Fractions ≥ 1 leave the
@@ -447,7 +459,7 @@ func (a *Algorithm) OnBeacon(to, from int, b transport.Beacon, d transport.Deliv
 	}
 }
 
-// edgeEval caches per-edge values for one trigger evaluation.
+// edgeEval caches per-edge values for one reference trigger evaluation.
 type edgeEval struct {
 	rec   *edgeRec
 	level int
@@ -481,33 +493,7 @@ func (a *Algorithm) Step(t sim.Time, dH []float64) {
 // decideMode evaluates the triggers of Definitions 4.5–4.7 for node u and
 // returns the rate multiplier per Listing 3.
 func (a *Algorithm) decideMode(u int) float64 {
-	a.evals = a.evals[:0]
-	maxLevel := 0
-	for _, peer := range a.peers[u] {
-		rec := a.edges[u][peer]
-		if !rec.up {
-			continue
-		}
-		lvl := a.level(u, rec)
-		if lvl < 1 {
-			continue
-		}
-		est, ok := a.rt.Est.Estimate(u, rec.peer)
-		if !ok {
-			a.MissingEstimates++
-			continue
-		}
-		kappa := a.kappaAt(rec, a.l[u])
-		a.evals = append(a.evals, edgeEval{
-			rec: rec, level: lvl, est: est,
-			kappa: kappa, delta: a.deltaAt(rec, kappa),
-		})
-		if lvl > maxLevel {
-			maxLevel = lvl
-		}
-	}
-	fast := a.fastTrigger(u, maxLevel)
-	slow := a.slowTrigger(u, maxLevel)
+	fast, slow := a.evalTriggers(u)
 	if fast && slow {
 		a.TriggerConflicts++
 	}
@@ -537,9 +523,168 @@ func (a *Algorithm) decideMode(u int) float64 {
 	}
 }
 
-// fastTrigger is Definition 4.5: ∃s with a level-s neighbor ahead by
+// evalTriggers decides the fast (Definition 4.5) and slow (Definition 4.6)
+// triggers for node u in a single O(deg) pass over its live edges.
+//
+// Every trigger inequality compares a fixed clock difference against a bound
+// that grows linearly in the level s, and the level-s neighbor filter
+// (lvl ≥ s) is itself downward closed — so each edge witnesses (or blocks)
+// exactly the levels s = 1..s_w for some per-edge threshold s_w derived from
+// its (est, κ, δ, ε, τ) tuple. The per-level witness/blocked aggregates the
+// reference double loop rebuilds for every s therefore collapse to prefix
+// maxima: one integer per condition. "∃s ≤ top: witness(s) ∧ ¬blocked(s)"
+// becomes W > B, because witness(s) ⇔ s ≤ W and blocked(s) ⇔ s ≤ B, and
+// W never exceeds top (each threshold is clamped by min(level, sMax)).
+//
+// The thresholds are seeded by inverting the inequalities and pinned to the
+// exact floating-point comparisons of the reference loop by the fix-up steps
+// in the *Level helpers, so the decisions are bit-identical — enforced by
+// the differential and fuzz tests in trigger_test.go.
+func (a *Algorithm) evalTriggers(u int) (fast, slow bool) {
+	if a.refTriggers {
+		return a.evalTriggersRef(u)
+	}
+	lu := a.l[u]
+	var fw, fb, sw, sb int // prefix maxima: fast/slow × witness/blocked
+	for _, peer := range a.peers[u] {
+		rec := a.edges[u][peer]
+		if !rec.up {
+			continue
+		}
+		lvl := a.level(u, rec)
+		if lvl < 1 {
+			continue
+		}
+		est, ok := a.rt.Est.Estimate(u, rec.peer)
+		if !ok {
+			a.MissingEstimates++
+			continue
+		}
+		kappa := a.kappaAt(rec, lu)
+		delta := a.deltaAt(rec, kappa)
+		top := lvl
+		if top > a.sMax {
+			top = a.sMax
+		}
+		ahead, behind := est-lu, lu-est
+		if w := fastWitnessLevel(ahead, kappa, rec.eps, top); w > fw {
+			fw = w
+		}
+		if b := a.fastBlockedLevel(behind, kappa, rec.eps, rec.tau, top); b > fb {
+			fb = b
+		}
+		if w := slowWitnessLevel(behind, kappa, delta, rec.eps, top); w > sw {
+			sw = w
+		}
+		if b := a.slowBlockedLevel(ahead, kappa, delta, rec.eps, rec.tau, top); b > sb {
+			sb = b
+		}
+	}
+	return fw > fb, sw > sb
+}
+
+// seedLevel clamps a real-valued threshold guess into [0, top]. The guess
+// only has to be near the true threshold — the fix-up loops in the callers
+// establish exactness against the reference comparisons.
+func seedLevel(q float64, top int) int {
+	if !(q > 0) { // also catches NaN
+		return 0
+	}
+	if q >= float64(top) {
+		return top
+	}
+	return int(q)
+}
+
+// fastWitnessLevel returns the largest s ∈ [0, top] with est−L_u ≥ s·κ − ε
+// (the Definition 4.5 witness condition; ahead = est−L_u).
+func fastWitnessLevel(ahead, kappa, eps float64, top int) int {
+	s := seedLevel((ahead+eps)/kappa, top)
+	for s < top && ahead >= float64(s+1)*kappa-eps {
+		s++
+	}
+	for s > 0 && ahead < float64(s)*kappa-eps {
+		s--
+	}
+	return s
+}
+
+// fastBlockedLevel returns the largest s ∈ [0, top] with
+// L_u−est > s·κ + 2µτ + ε (the Definition 4.5 blocking condition;
+// behind = L_u−est).
+func (a *Algorithm) fastBlockedLevel(behind, kappa, eps, tau float64, top int) int {
+	s := seedLevel((behind-2*a.p.Mu*tau-eps)/kappa, top)
+	for s < top && behind > float64(s+1)*kappa+2*a.p.Mu*tau+eps {
+		s++
+	}
+	for s > 0 && !(behind > float64(s)*kappa+2*a.p.Mu*tau+eps) {
+		s--
+	}
+	return s
+}
+
+// slowWitnessLevel returns the largest s ∈ [0, top] with
+// L_u−est ≥ (s+½)κ − δ − ε (the Definition 4.6 witness condition).
+func slowWitnessLevel(behind, kappa, delta, eps float64, top int) int {
+	s := seedLevel((behind+delta+eps)/kappa-0.5, top)
+	for s < top && behind >= (float64(s+1)+0.5)*kappa-delta-eps {
+		s++
+	}
+	for s > 0 && behind < (float64(s)+0.5)*kappa-delta-eps {
+		s--
+	}
+	return s
+}
+
+// slowBlockedLevel returns the largest s ∈ [0, top] with
+// est−L_u > (s+½)κ + δ + ε + µ(1+ρ)τ (the Definition 4.6 blocking
+// condition).
+func (a *Algorithm) slowBlockedLevel(ahead, kappa, delta, eps, tau float64, top int) int {
+	s := seedLevel((ahead-delta-eps-a.p.Mu*(1+a.p.Rho)*tau)/kappa-0.5, top)
+	for s < top && ahead > (float64(s+1)+0.5)*kappa+delta+eps+a.p.Mu*(1+a.p.Rho)*tau {
+		s++
+	}
+	for s > 0 && !(ahead > (float64(s)+0.5)*kappa+delta+eps+a.p.Mu*(1+a.p.Rho)*tau) {
+		s--
+	}
+	return s
+}
+
+// evalTriggersRef is the retained reference: gather per-edge values, then
+// scan every level s with the literal double loops. Kept as the oracle the
+// single-pass engine is differentially tested against.
+func (a *Algorithm) evalTriggersRef(u int) (fast, slow bool) {
+	a.evals = a.evals[:0]
+	maxLevel := 0
+	for _, peer := range a.peers[u] {
+		rec := a.edges[u][peer]
+		if !rec.up {
+			continue
+		}
+		lvl := a.level(u, rec)
+		if lvl < 1 {
+			continue
+		}
+		est, ok := a.rt.Est.Estimate(u, rec.peer)
+		if !ok {
+			a.MissingEstimates++
+			continue
+		}
+		kappa := a.kappaAt(rec, a.l[u])
+		a.evals = append(a.evals, edgeEval{
+			rec: rec, level: lvl, est: est,
+			kappa: kappa, delta: a.deltaAt(rec, kappa),
+		})
+		if lvl > maxLevel {
+			maxLevel = lvl
+		}
+	}
+	return a.fastTriggerRef(u, maxLevel), a.slowTriggerRef(u, maxLevel)
+}
+
+// fastTriggerRef is Definition 4.5: ∃s with a level-s neighbor ahead by
 // ≥ s·κ − ε while no level-s neighbor is behind by > s·κ + 2µτ + ε.
-func (a *Algorithm) fastTrigger(u, maxLevel int) bool {
+func (a *Algorithm) fastTriggerRef(u, maxLevel int) bool {
 	lu := a.l[u]
 	top := a.sMax
 	if maxLevel < top {
@@ -568,10 +713,10 @@ func (a *Algorithm) fastTrigger(u, maxLevel int) bool {
 	return false
 }
 
-// slowTrigger is Definition 4.6: ∃s with a level-s neighbor behind by
+// slowTriggerRef is Definition 4.6: ∃s with a level-s neighbor behind by
 // ≥ (s+½)κ − δ − ε while no level-s neighbor is ahead by
 // > (s+½)κ + δ + ε + µ(1+ρ)τ.
-func (a *Algorithm) slowTrigger(u, maxLevel int) bool {
+func (a *Algorithm) slowTriggerRef(u, maxLevel int) bool {
 	lu := a.l[u]
 	top := a.sMax
 	if maxLevel < top {

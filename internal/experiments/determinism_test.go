@@ -12,15 +12,16 @@ import (
 // byte-identical reports whether replicas run on one worker or eight, and
 // across repeated runs. The subset covers the runner structures: a direct
 // per-size net (E01), the merge scenario with three algorithms sharing an
-// adversary (E05), an auxiliary corruption RNG (E08), and a two-table
-// result (E12).
+// adversary (E05), an auxiliary corruption RNG (E08), a two-table result
+// (E12), and the scale tier with composed churn + grid-backed mobility
+// (E16 — the acceptance gate for the N=10⁵ rung's reproducibility).
 func TestReplicatedDeterministicAcrossParallelism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("replicated runs take a few seconds")
 	}
 	for _, entry := range All() {
 		switch entry.ID {
-		case "E01", "E05", "E08", "E12", "E14":
+		case "E01", "E05", "E08", "E12", "E14", "E16":
 		default:
 			continue
 		}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	gradsync "repro"
+	"repro/internal/scenario"
+)
+
+// e16Cases sizes the tier above E15. The full sizing depends on the build:
+// N=10⁵ with `-tags large` (the nightly rung), N=2·10⁴ otherwise, so the
+// default suite still climbs past E15 without the nightly budget. Quick
+// stays test-sized.
+func e16Cases(quick bool) []scaleCase {
+	ringN, geoN := 20000, 20000
+	if e16LargeTier {
+		ringN, geoN = 100000, 100000
+	}
+	if quick {
+		ringN, geoN = 3000, 2048
+	}
+
+	// Ring: chord churn over an explicit pool (the default pool would
+	// enumerate Θ(N²) undeclared pairs). Anchors stay in the first half of
+	// the ring so all 64 diameter chords are distinct pairs.
+	ringChords := make([]scenario.Pair, 0, 64)
+	for i := 0; i < 64; i++ {
+		u := i * (ringN / 2) / 64
+		ringChords = append(ringChords, scenario.Pair{u, u + ringN/2})
+	}
+
+	// Geometric: the initial chain wraps the torus exactly once, so index
+	// distance N/2 is torus distance 0.5 — the churn-wave chords are
+	// guaranteed far from every radius edge the mobility reconciles.
+	geoChords := make([]scenario.Pair, 0, 48)
+	for i := 0; i < 48; i++ {
+		u := i * (geoN / 2) / 48
+		geoChords = append(geoChords, scenario.Pair{u, u + geoN/2})
+	}
+
+	ringDist := []int{1, 4, 16, 64, 256, 1024}
+	if quick {
+		ringDist = []int{1, 4, 16, 64}
+	}
+
+	return []scaleCase{
+		{
+			name: "ring", n: ringN,
+			build: func() (gradsync.Topology, int, gradsync.Scenario, func() (int, error)) {
+				c := &scenario.Churn{Every: 1.5, Pairs: ringChords}
+				return gradsync.RingTopology(ringN), ringN / 2, c,
+					func() (int, error) { return c.Toggles, c.Err }
+			},
+			checkDistances: ringDist,
+			pairFor: func(sample, d int) (int, int) {
+				u := sample * 997 % ringN
+				return u, (u + d) % ringN
+			},
+			connected: true,
+		},
+		{
+			name: "geometric", n: geoN,
+			build: func() (gradsync.Topology, int, gradsync.Scenario, func() (int, error)) {
+				// Radius sized so the deterministic initial chain spans the
+				// torus exactly once: degree stays bounded as N grows, and
+				// the grid-backed reconciliation keeps each hop O(deg).
+				g := &scenario.RandomGeometric{Radius: 1 / (0.45 * float64(geoN)), StepEvery: 0.5}
+				w := &scenario.ChurnWaves{WaveEvery: 4, BurstSize: 6, Spacing: 0.3, Pairs: geoChords}
+				// The chain is the circulant C_N(1,2): index distance N/2 in
+				// ≈ N/4 hops. The hint is a slight over-estimate, which the
+				// DiameterHint contract allows (it only loosens G̃).
+				return gradsync.CustomTopology(geoN, g.InitialEdges(geoN)), geoN/4 + 2,
+					scenario.Compose(g, w),
+					func() (int, error) {
+						if g.Err != nil {
+							return g.EdgeEvents + w.Toggles, g.Err
+						}
+						return g.EdgeEvents + w.Toggles, w.Err
+					}
+			},
+			// Mobility can transiently disconnect roaming nodes, so only the
+			// scenario-health and throughput columns apply.
+			connected: false,
+		},
+	}
+}
+
+// E16ExtremeScale is the tier above E15: it proves the single-pass trigger
+// engine and the grid-backed geometric generator carry the next order of
+// magnitude (N=10⁵ under -tags large) with live churn and mobility, and that
+// the Corollary 7.10 gradient ladder — whose log factor is only visible at
+// large diameter — holds out to hop distance 1024 on the ring.
+func E16ExtremeScale(spec Spec) *Result {
+	r := newResult("E16", "Extreme scale: N up to 10⁵ (−tags large) under live churn and grid-backed mobility; Cor 7.10 ladder at large diameter")
+	horizon := 8.0
+	if spec.Quick {
+		horizon = 4
+	}
+	runScaleTier(r, spec, 16, "extreme-scale tier × substrate load and gradient legality",
+		horizon, e16Cases(spec.Quick))
+	if e16LargeTier {
+		r.Notef("large build: the full tier runs N=10⁵ per topology")
+	} else {
+		r.Notef("default build caps the full tier at N=2·10⁴; compile with -tags large (nightly workflow) for the N=10⁵ rung")
+	}
+	r.Notef("wall-clock throughput (events/sec) is recorded by BenchmarkRuntime100k via make bench-large, keeping this report deterministic")
+	return r
+}

@@ -1,0 +1,9 @@
+//go:build !large
+
+package experiments
+
+// e16LargeTier selects the N=10⁵ sizing of the E16 extreme-scale tier. The
+// default build keeps full runs at N=2·10⁴ so `make suite` and the test
+// matrix stay fast; the nightly workflow compiles with `-tags large` to get
+// the real 10⁵ rung (see e16_sizes_large.go).
+const e16LargeTier = false

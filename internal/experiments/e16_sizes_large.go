@@ -1,0 +1,8 @@
+//go:build large
+
+package experiments
+
+// e16LargeTier: this build carries the full N=10⁵ extreme-scale rung.
+// Compile with `-tags large` (the nightly workflow does; PR CI never does,
+// so the 10⁵ tier cannot slow interactive pipelines).
+const e16LargeTier = true

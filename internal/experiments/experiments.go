@@ -1,6 +1,6 @@
 // Package experiments contains the reproduction harness: one runner per
 // claim of the paper (the "tables and figures" of this theory paper are its
-// theorems; see EXPERIMENTS.md for the experiment index E01–E14). Every
+// theorems; see EXPERIMENTS.md for the experiment index E01–E16). Every
 // runner returns a table of paper-bound vs measured rows plus a pass/fail
 // shape verdict, and is invoked both from the benchmarks in bench_test.go
 // and from cmd/experiments. RunReplicated wraps any runner to aggregate
@@ -123,6 +123,7 @@ func All() []Entry {
 		{"E13", E13InsertionStrategies},
 		{"E14", E14ScenarioMatrix},
 		{"E15", E15LargeScale},
+		{"E16", E16ExtremeScale},
 	}
 }
 

@@ -1,0 +1,258 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/drift"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// refGeometric is the pre-grid RandomGeometric, kept verbatim as the
+// differential oracle: an O(N²) all-pairs reconciliation over a pair-indexed
+// mirror. The grid implementation must replay it byte for byte — same RNG
+// draws, same edge operations in the same order — so the two runtimes stay
+// bit-identical throughout.
+type refGeometric struct {
+	Radius     float64
+	StepEvery  float64
+	StepSize   float64
+	Companions [][]int
+
+	Moves      int
+	EdgeEvents int
+	Err        error
+
+	rt      *runner.Runtime
+	rng     *sim.RNG
+	pos     [][2]float64
+	up      []bool
+	groupOf []int
+}
+
+func (g *refGeometric) initialPositions(n int) [][2]float64 {
+	spacing := 0.45 * g.Radius
+	pos := make([][2]float64, n)
+	for i := range pos {
+		x := float64(i) * spacing
+		pos[i] = [2]float64{x - math.Floor(x), 0}
+	}
+	return pos
+}
+
+func (g *refGeometric) pairIndex(u, v int) int {
+	n := g.rt.N()
+	if u > v {
+		u, v = v, u
+	}
+	return u*n + v
+}
+
+func (g *refGeometric) Install(rt *runner.Runtime, rng *sim.RNG) {
+	g.rt = rt
+	g.rng = rng
+	n := rt.N()
+	g.pos = g.initialPositions(n)
+	g.groupOf = make([]int, n)
+	for i := range g.groupOf {
+		g.groupOf[i] = -1
+	}
+	for gi, group := range g.Companions {
+		for _, u := range group {
+			g.groupOf[u] = gi
+		}
+	}
+	g.up = make([]bool, n*n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.up[g.pairIndex(u, v)] = rt.Dyn.BothUp(u, v)
+		}
+	}
+	rt.Engine.NewTicker(g.StepEvery, g.StepEvery, func(sim.Time, float64) { g.step() })
+}
+
+func (g *refGeometric) step() {
+	n := g.rt.N()
+	mover := g.rng.Intn(n)
+	angle := g.rng.Uniform(0, 2*math.Pi)
+	dx := g.StepSize * math.Cos(angle)
+	dy := g.StepSize * math.Sin(angle)
+	move := func(u int) {
+		x := g.pos[u][0] + dx
+		y := g.pos[u][1] + dy
+		g.pos[u] = [2]float64{x - math.Floor(x), y - math.Floor(y)}
+	}
+	if gi := g.groupOf[mover]; gi >= 0 {
+		for _, u := range g.Companions[gi] {
+			move(u)
+		}
+	} else {
+		move(mover)
+	}
+	g.Moves++
+	g.refresh()
+}
+
+func (g *refGeometric) refresh() {
+	n := g.rt.N()
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			idx := g.pairIndex(u, v)
+			near := torusDist(g.pos[u], g.pos[v]) <= g.Radius
+			if near == g.up[idx] {
+				continue
+			}
+			var err error
+			if near {
+				err = g.rt.AddEdge(u, v)
+			} else {
+				err = g.rt.CutEdge(u, v)
+			}
+			if err != nil {
+				if g.Err == nil {
+					g.Err = edgeErrf("geometric", u, v, err)
+				}
+				continue
+			}
+			g.up[idx] = near
+			g.EdgeEvents++
+		}
+	}
+}
+
+// geoRuntime wires a runtime over the given initial edge set with the
+// scenario installed (the geometric-specific variant of testRuntime).
+func geoRuntime(t *testing.T, n int, edges []Pair, sc runner.Scenario, seed int64) *runner.Runtime {
+	t.Helper()
+	rt, err := runner.New(runner.Config{
+		N: n, Tick: 0.02, BeaconInterval: 0.25,
+		Drift:    drift.Perfect(),
+		Scenario: sc,
+		Seed:     seed,
+	})
+	if err != nil {
+		t.Fatalf("runner.New: %v", err)
+	}
+	for _, p := range edges {
+		if err := rt.Dyn.DeclareLink(p[0], p[1], topo.DefaultLinkParams()); err != nil {
+			t.Fatalf("declare: %v", err)
+		}
+	}
+	rt.SetEstimator(nopEstimator{})
+	rt.Attach(&nopAlgo{})
+	for _, p := range edges {
+		if err := rt.Dyn.AppearInstant(p[0], p[1]); err != nil {
+			t.Fatalf("appear: %v", err)
+		}
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	return rt
+}
+
+func edgeSet(rt *runner.Runtime) string {
+	var ids []topo.EdgeID
+	ids = rt.Dyn.EdgesBothUp(ids)
+	return fmt.Sprint(ids)
+}
+
+// TestGeometricGridMatchesAllPairsReference replays grid-backed mobility
+// against the retained O(N²) implementation across radii that exercise
+// every grid regime — many cells, a 2×2 wrap-around grid, and the single
+// degenerate cell — plus companion groups and a non-radius initial topology
+// (the line), whose alignment exercises the first-step full sweep. The two
+// runs must agree on every counter and on the live edge set at every
+// checkpoint.
+func TestGeometricGridMatchesAllPairsReference(t *testing.T) {
+	cases := []struct {
+		name       string
+		n          int
+		radius     float64
+		stepEvery  float64
+		companions [][]int
+		lineTopo   bool // start from a line instead of the radius graph
+		seed       int64
+	}{
+		{name: "many-cells", n: 24, radius: 0.2, stepEvery: 2, seed: 5},
+		{name: "two-cell-wrap", n: 30, radius: 0.34, stepEvery: 1.5, seed: 9},
+		{name: "one-cell", n: 16, radius: 0.55, stepEvery: 2, seed: 13},
+		{name: "companions", n: 20, radius: 0.25, stepEvery: 2,
+			companions: [][]int{{0, 1, 2}, {7, 8}}, seed: 21},
+		{name: "line-start-full-sync", n: 18, radius: 0.3, stepEvery: 2,
+			lineTopo: true, seed: 33},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			grid := &RandomGeometric{Radius: c.radius, StepEvery: c.stepEvery, Companions: c.companions}
+			ref := &refGeometric{Radius: c.radius, StepEvery: c.stepEvery, StepSize: 0.45 * c.radius, Companions: c.companions}
+			edges := grid.InitialEdges(c.n)
+			if c.lineTopo {
+				edges = edges[:0]
+				for _, e := range topo.Line(c.n) {
+					edges = append(edges, Pair{e.U, e.V})
+				}
+			}
+			rtGrid := geoRuntime(t, c.n, edges, grid, c.seed)
+			rtRef := geoRuntime(t, c.n, edges, ref, c.seed)
+			for step := 1; step <= 40; step++ {
+				until := float64(step) * c.stepEvery * 2
+				rtGrid.Run(until)
+				rtRef.Run(until)
+				if got, want := edgeSet(rtGrid), edgeSet(rtRef); got != want {
+					t.Fatalf("t=%v: edge sets diverged\ngrid: %s\nref:  %s", until, got, want)
+				}
+			}
+			if grid.Err != nil || ref.Err != nil {
+				t.Fatalf("errors: grid=%v ref=%v", grid.Err, ref.Err)
+			}
+			if grid.Moves != ref.Moves || grid.EdgeEvents != ref.EdgeEvents {
+				t.Fatalf("counters diverged: grid moves=%d events=%d, ref moves=%d events=%d",
+					grid.Moves, grid.EdgeEvents, ref.Moves, ref.EdgeEvents)
+			}
+			if grid.Moves == 0 || grid.EdgeEvents == 0 {
+				t.Fatalf("mobility idle: moves=%d events=%d", grid.Moves, grid.EdgeEvents)
+			}
+			// The mirror must equal the radius graph exactly after the run.
+			for u := 0; u < c.n; u++ {
+				for v := u + 1; v < c.n; v++ {
+					near := torusDist(grid.pos[u], grid.pos[v]) <= c.radius
+					if near != grid.hasNbr(int32(u), int32(v)) {
+						t.Fatalf("mirror out of sync at {%d,%d}: near=%v", u, v, near)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGeometricInitialEdgesMatchesBruteForce pins the grid-pruned
+// InitialEdges to the literal all-pairs definition for a spread of sizes
+// and radii (including radii above the torus diameter).
+func TestGeometricInitialEdgesMatchesBruteForce(t *testing.T) {
+	for _, c := range []struct {
+		n      int
+		radius float64
+	}{{5, 0.2}, {12, 0.2}, {40, 0.05}, {40, 0.34}, {16, 0.8}, {9, 2.5}, {300, 0.013}} {
+		g := &RandomGeometric{Radius: c.radius}
+		got := g.InitialEdges(c.n)
+		pos := g.initialPositions(c.n)
+		var want []Pair
+		for u := 0; u < c.n; u++ {
+			for v := u + 1; v < c.n; v++ {
+				if torusDist(pos[u], pos[v]) <= c.radius {
+					want = append(want, Pair{u, v})
+				}
+			}
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("n=%d radius=%v: InitialEdges diverged from brute force\ngot:  %v\nwant: %v",
+				c.n, c.radius, got, want)
+		}
+	}
+}
