@@ -32,9 +32,11 @@ cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -1
 
-# The sweep layer fans replicas across goroutines; the race target proves
-# the concurrent paths clean (the determinism tests run replicated
-# experiments at parallelism 8 under the detector).
+# The sweep layer fans replicas across goroutines and the integration tick
+# shards node work across a worker pool; the race target proves both
+# concurrent paths clean (the determinism tests run replicated experiments
+# at parallelism 8, and the sharded-tick differential replays random
+# topologies/scenarios at TickParallelism 8, all under the detector).
 race:
 	$(GO) test -race ./...
 
@@ -49,6 +51,8 @@ bench:
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkCoreStep|BenchmarkBlockSyncStep|BenchmarkNeighbors' -benchmem ./internal/core ./internal/baselines ./internal/topo > BENCH_raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem ./internal/sim >> BENCH_raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkMessagingInvalidate' -benchmem ./internal/estimate >> BENCH_raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkPoolRun' -benchmem ./internal/par >> BENCH_raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkSimulationStep' -benchmem -benchtime=20x . >> BENCH_raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkSweep|BenchmarkRuntime10k' -benchmem -benchtime=1x . >> BENCH_raw.txt
 	$(GO) run ./cmd/benchjson -out BENCH_sweep.json < BENCH_raw.txt

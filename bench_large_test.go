@@ -7,6 +7,7 @@ package gradsync_test
 // `go test -bench .` on a PR never pays for them.
 
 import (
+	"runtime"
 	"testing"
 
 	gradsync "repro"
@@ -17,28 +18,38 @@ import (
 // BenchmarkRuntime100k is the extreme-scale throughput record: one simulated
 // time unit on a 100 000-node ring with chord churn-waves running. Its
 // events/sec is the headline the nightly bench JSON archives next to
-// BenchmarkRuntime10k.
+// BenchmarkRuntime10k. The par=1/par=max pair records the sharded-tick
+// speedup at the scale where per-tick node work dominates; outputs are
+// byte-identical across the pair, only wall-clock differs.
 func BenchmarkRuntime100k(b *testing.B) {
-	const n = 100000
-	pairs := make([]scenario.Pair, 0, 64)
-	for i := 0; i < 64; i++ {
-		u := i * (n / 2) / 64 // anchors span half the ring: 64 distinct chords
-		pairs = append(pairs, scenario.Pair{u, u + n/2})
+	for _, v := range []struct {
+		name    string
+		tickPar int
+	}{{"par=1", 1}, {"par=max", runtime.NumCPU()}} {
+		b.Run(v.name, func(b *testing.B) {
+			const n = 100000
+			pairs := make([]scenario.Pair, 0, 64)
+			for i := 0; i < 64; i++ {
+				u := i * (n / 2) / 64 // anchors span half the ring: 64 distinct chords
+				pairs = append(pairs, scenario.Pair{u, u + n/2})
+			}
+			net := gradsync.MustNew(gradsync.Config{
+				Topology:        gradsync.RingTopology(n),
+				DiameterHint:    n / 2,
+				Drift:           gradsync.TwoGroupDrift(n / 2),
+				Scenario:        &scenario.ChurnWaves{WaveEvery: 4, BurstSize: 6, Spacing: 0.3, Pairs: pairs},
+				TickParallelism: v.tickPar,
+				Seed:            1,
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.RunFor(1)
+			}
+			b.StopTimer()
+			events := net.Runtime().Engine.Stepped
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+		})
 	}
-	net := gradsync.MustNew(gradsync.Config{
-		Topology:     gradsync.RingTopology(n),
-		DiameterHint: n / 2,
-		Drift:        gradsync.TwoGroupDrift(n / 2),
-		Scenario:     &scenario.ChurnWaves{WaveEvery: 4, BurstSize: 6, Spacing: 0.3, Pairs: pairs},
-		Seed:         1,
-	})
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		net.RunFor(1)
-	}
-	b.StopTimer()
-	events := net.Runtime().Engine.Stepped
-	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 }
 
 // BenchmarkE16ExtremeScale regenerates the E16 report at full large-tier

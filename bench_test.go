@@ -11,6 +11,7 @@ package gradsync_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	gradsync "repro"
@@ -126,28 +127,39 @@ func BenchmarkE16ExtremeScaleQuick(b *testing.B) {
 // time unit on a 10 000-node ring with chord churn running (50 integration
 // ticks, 40k beacons, their deliveries, and the churn handshakes). The
 // ns/op trajectory of this benchmark is the substrate's headline number in
-// BENCH_sweep.json.
+// BENCH_sweep.json. The par=1/par=max pair records the sharded-tick speedup
+// (par=max uses NumCPU shards, the E15/E16 default; the name is
+// machine-independent so records diff across hosts, and the outputs are
+// byte-identical — only the wall-clock may differ).
 func BenchmarkRuntime10k(b *testing.B) {
-	const n = 10000
-	pairs := make([]scenario.Pair, 0, 64)
-	for i := 0; i < 64; i++ {
-		u := i * (n / 2) / 64 // anchors span half the ring: 64 distinct chords
-		pairs = append(pairs, scenario.Pair{u, u + n/2})
+	for _, v := range []struct {
+		name    string
+		tickPar int
+	}{{"par=1", 1}, {"par=max", runtime.NumCPU()}} {
+		b.Run(v.name, func(b *testing.B) {
+			const n = 10000
+			pairs := make([]scenario.Pair, 0, 64)
+			for i := 0; i < 64; i++ {
+				u := i * (n / 2) / 64 // anchors span half the ring: 64 distinct chords
+				pairs = append(pairs, scenario.Pair{u, u + n/2})
+			}
+			net := gradsync.MustNew(gradsync.Config{
+				Topology:        gradsync.RingTopology(n),
+				DiameterHint:    n / 2,
+				Drift:           gradsync.TwoGroupDrift(n / 2),
+				Scenario:        &scenario.Churn{Every: 1.5, Pairs: pairs},
+				TickParallelism: v.tickPar,
+				Seed:            1,
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.RunFor(1)
+			}
+			b.StopTimer()
+			events := net.Runtime().Engine.Stepped
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+		})
 	}
-	net := gradsync.MustNew(gradsync.Config{
-		Topology:     gradsync.RingTopology(n),
-		DiameterHint: n / 2,
-		Drift:        gradsync.TwoGroupDrift(n / 2),
-		Scenario:     &scenario.Churn{Every: 1.5, Pairs: pairs},
-		Seed:         1,
-	})
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		net.RunFor(1)
-	}
-	b.StopTimer()
-	events := net.Runtime().Engine.Stepped
-	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 }
 
 // BenchmarkSweepReplicas measures the multi-seed sweep engine at several

@@ -10,6 +10,11 @@
 //
 //	benchjson -compare BENCH_baseline.json BENCH_sweep.json
 //	benchjson -threshold 10 -compare old.json new.json
+//
+// With -markdown the comparison is rendered as a GitHub-flavored table —
+// the nightly workflow appends it to $GITHUB_STEP_SUMMARY, so every run
+// shows its per-benchmark delta against the committed baseline without
+// downloading artifacts (the first step toward a perf-trend dashboard).
 package main
 
 import (
@@ -62,6 +67,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	out := fs.String("out", "BENCH_sweep.json", "output JSON file")
 	compare := fs.Bool("compare", false, "compare two record files (old new) instead of parsing stdin")
 	threshold := fs.Float64("threshold", 20, "with -compare: max tolerated ns/op regression in percent")
+	markdown := fs.Bool("markdown", false, "with -compare: render the delta table as GitHub-flavored markdown (for $GITHUB_STEP_SUMMARY)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,7 +75,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if fs.NArg() != 2 {
 			return fmt.Errorf("-compare needs exactly two files (old new), got %d", fs.NArg())
 		}
-		return compareFiles(fs.Arg(0), fs.Arg(1), *threshold, stdout)
+		return compareFiles(fs.Arg(0), fs.Arg(1), *threshold, *markdown, stdout)
 	}
 
 	report, err := parse(stdin)
@@ -158,11 +164,20 @@ func loadReport(path string) (*Report, error) {
 // benchKey identifies a benchmark across record files.
 type benchKey struct{ pkg, name string }
 
+// deltaRow is one comparison outcome, rendered as text or markdown.
+type deltaRow struct {
+	name         string
+	verdict      string // "ok", "REGRESSED", "new", "removed"
+	oldNs, newNs float64
+	deltaPct     float64
+	oldEv, newEv float64 // events/sec where recorded (0 = absent)
+}
+
 // compareFiles diffs two record files and fails on regressions: a benchmark
 // present in both whose ns/op grew by more than threshold percent. New and
 // removed benchmarks are reported but never fail the check, so adding a
 // benchmark (or retiring one) does not break CI.
-func compareFiles(oldPath, newPath string, threshold float64, stdout io.Writer) error {
+func compareFiles(oldPath, newPath string, threshold float64, markdown bool, stdout io.Writer) error {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
 		return err
@@ -176,12 +191,13 @@ func compareFiles(oldPath, newPath string, threshold float64, stdout io.Writer) 
 		old[benchKey{r.Pkg, r.Name}] = r
 	}
 
+	var rows []deltaRow
 	var regressions []string
 	matched := 0
 	for _, r := range newRep.Benchmarks {
 		prev, ok := old[benchKey{r.Pkg, r.Name}]
 		if !ok {
-			fmt.Fprintf(stdout, "new       %-50s %12.1f ns/op\n", r.Name, r.NsPerOp)
+			rows = append(rows, deltaRow{name: r.Name, verdict: "new", newNs: r.NsPerOp, newEv: r.EventsPerSec})
 			continue
 		}
 		matched++
@@ -197,8 +213,11 @@ func compareFiles(oldPath, newPath string, threshold float64, stdout io.Writer) 
 				fmt.Sprintf("%s %s: %.1f → %.1f ns/op (%+.1f%%, threshold %.0f%%)",
 					r.Pkg, r.Name, prev.NsPerOp, r.NsPerOp, deltaPct, threshold))
 		}
-		fmt.Fprintf(stdout, "%-9s %-50s %12.1f → %-12.1f ns/op  %+.1f%%\n",
-			verdict, r.Name, prev.NsPerOp, r.NsPerOp, deltaPct)
+		rows = append(rows, deltaRow{
+			name: r.Name, verdict: verdict,
+			oldNs: prev.NsPerOp, newNs: r.NsPerOp, deltaPct: deltaPct,
+			oldEv: prev.EventsPerSec, newEv: r.EventsPerSec,
+		})
 	}
 	removed := make([]string, 0, len(old))
 	for key := range old {
@@ -206,17 +225,70 @@ func compareFiles(oldPath, newPath string, threshold float64, stdout io.Writer) 
 	}
 	sort.Strings(removed)
 	for _, name := range removed {
-		fmt.Fprintf(stdout, "removed   %-50s\n", name)
+		rows = append(rows, deltaRow{name: name, verdict: "removed"})
+	}
+
+	if markdown {
+		renderMarkdown(rows, threshold, stdout)
+	} else {
+		renderText(rows, stdout)
 	}
 	if matched == 0 {
 		return fmt.Errorf("no benchmark appears in both %s and %s", oldPath, newPath)
 	}
 	if len(regressions) > 0 {
-		for _, r := range regressions {
-			fmt.Fprintln(stdout, "regression:", r)
+		if !markdown {
+			for _, r := range regressions {
+				fmt.Fprintln(stdout, "regression:", r)
+			}
 		}
 		return fmt.Errorf("%d of %d matched benchmarks regressed beyond %.0f%% ns/op", len(regressions), matched, threshold)
 	}
-	fmt.Fprintf(stdout, "benchjson: %d matched benchmarks within %.0f%% of baseline\n", matched, threshold)
+	if !markdown {
+		fmt.Fprintf(stdout, "benchjson: %d matched benchmarks within threshold of baseline\n", matched)
+	}
 	return nil
+}
+
+// renderText is the historical plain-text rendering.
+func renderText(rows []deltaRow, w io.Writer) {
+	for _, r := range rows {
+		switch r.verdict {
+		case "new":
+			fmt.Fprintf(w, "new       %-50s %12.1f ns/op\n", r.name, r.newNs)
+		case "removed":
+			fmt.Fprintf(w, "removed   %-50s\n", r.name)
+		default:
+			fmt.Fprintf(w, "%-9s %-50s %12.1f → %-12.1f ns/op  %+.1f%%\n",
+				r.verdict, r.name, r.oldNs, r.newNs, r.deltaPct)
+		}
+	}
+}
+
+// renderMarkdown emits the per-benchmark delta table for a GitHub job
+// summary: one row per benchmark, baseline vs run ns/op, the percentage
+// delta, and the events/sec columns where the benchmark records them.
+func renderMarkdown(rows []deltaRow, threshold float64, w io.Writer) {
+	fmt.Fprintf(w, "### Benchmark delta vs baseline (threshold %.0f%% ns/op)\n\n", threshold)
+	fmt.Fprintln(w, "| benchmark | baseline ns/op | run ns/op | Δ ns/op | events/sec (baseline → run) | verdict |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---|")
+	for _, r := range rows {
+		ev := ""
+		if r.oldEv > 0 || r.newEv > 0 {
+			ev = fmt.Sprintf("%.3g → %.3g", r.oldEv, r.newEv)
+		}
+		switch r.verdict {
+		case "new":
+			fmt.Fprintf(w, "| %s | — | %.1f | — | %s | new |\n", r.name, r.newNs, ev)
+		case "removed":
+			fmt.Fprintf(w, "| %s | — | — | — | | removed |\n", r.name)
+		default:
+			verdict := "ok"
+			if r.verdict == "REGRESSED" {
+				verdict = "**REGRESSED**"
+			}
+			fmt.Fprintf(w, "| %s | %.1f | %.1f | %+.1f%% | %s | %s |\n",
+				r.name, r.oldNs, r.newNs, r.deltaPct, ev, verdict)
+		}
+	}
 }

@@ -130,6 +130,37 @@ func TestCompareImprovementNeverFails(t *testing.T) {
 	}
 }
 
+func TestCompareMarkdownTable(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json",
+		Record{Pkg: "p", Name: "BenchmarkA", NsPerOp: 100, EventsPerSec: 600000},
+		Record{Pkg: "p", Name: "BenchmarkGone", NsPerOp: 50})
+	niu := writeReport(t, dir, "new.json",
+		Record{Pkg: "p", Name: "BenchmarkA", NsPerOp: 140, EventsPerSec: 450000},
+		Record{Pkg: "p", Name: "BenchmarkNew", NsPerOp: 10})
+	var stdout bytes.Buffer
+	err := run([]string{"-compare", "-markdown", old, niu}, strings.NewReader(""), &stdout)
+	if err == nil {
+		t.Fatalf("40%% regression passed the 20%% threshold in markdown mode:\n%s", stdout.String())
+	}
+	got := stdout.String()
+	for _, want := range []string{
+		"| benchmark |",
+		"| BenchmarkA | 100.0 | 140.0 | +40.0% | 6e+05 → 4.5e+05 | **REGRESSED** |",
+		"| BenchmarkNew | — | 10.0 | — |",
+		"| BenchmarkGone | — | — | — | | removed |",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("markdown output missing %q:\n%s", want, got)
+		}
+	}
+	// The markdown must be the whole stdout payload — the plain-text
+	// regression echo would corrupt the job-summary table.
+	if strings.Contains(got, "regression:") {
+		t.Errorf("markdown mode leaked the plain-text regression lines:\n%s", got)
+	}
+}
+
 func TestCompareDisjointFilesError(t *testing.T) {
 	dir := t.TempDir()
 	old := writeReport(t, dir, "old.json", Record{Pkg: "p", Name: "BenchmarkA", NsPerOp: 1})

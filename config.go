@@ -206,12 +206,16 @@ func MessagingEstimates(centered bool) Estimates {
 	return Estimates{kind: "messaging", centered: centered}
 }
 
-func (e Estimates) buildPolicy(rng *sim.RNG) (estimate.ErrorPolicy, error) {
+func (e Estimates) buildPolicy(n int, rng *sim.RNG) (estimate.ErrorPolicy, error) {
 	switch e.policy {
 	case "", "zero":
 		return estimate.ZeroError{}, nil
 	case "random":
-		return estimate.RandomError{RNG: rng}, nil
+		// Per-node streams, not one shared stream: node u's error draws
+		// depend only on u's own query history, which keeps the adversary
+		// deterministic under the sharded tick (and race-free across
+		// shards). Still uniform in [−ε, +ε] per query.
+		return estimate.NewPerNodeRandomError(n, rng), nil
 	case "holdback":
 		return estimate.HoldBack{}, nil
 	case "pushforward":
@@ -310,6 +314,14 @@ type Config struct {
 	Tick float64
 	// BeaconInterval is the beacon period; 0 → 0.25.
 	BeaconInterval float64
+	// TickParallelism shards the per-node work of every integration tick
+	// (drift rates, hardware and logical clock integration, trigger
+	// evaluation) across this many persistent workers. ≤ 1 keeps the serial
+	// tick. Results are byte-identical for every value — the knob trades
+	// wall-clock only — so it is safe to set to runtime.NumCPU() for large
+	// networks; below ~10³ nodes the fan-out barrier costs more than it
+	// saves. See DESIGN.md §Sharded integration tick.
+	TickParallelism int
 	// Seed feeds all randomness; 0 is a valid fixed seed.
 	Seed int64
 	// InitialClocks optionally sets corrupted initial logical clocks.

@@ -58,14 +58,15 @@ func New(cfg Config) (*Network, error) {
 	}
 	n := cfg.Topology.n
 	rt, err := runner.New(runner.Config{
-		N:              n,
-		Tick:           cfg.Tick,
-		BeaconInterval: cfg.BeaconInterval,
-		Drift:          cfg.Drift.build(cfg.Rho, n, sim.NewRNG(cfg.Seed^0x5eed)),
-		Delay:          cfg.Delay.build(),
-		Link:           cfg.Link.toTopo(),
-		Scenario:       cfg.Scenario,
-		Seed:           cfg.Seed,
+		N:               n,
+		Tick:            cfg.Tick,
+		BeaconInterval:  cfg.BeaconInterval,
+		Drift:           cfg.Drift.build(cfg.Rho, n, sim.NewRNG(cfg.Seed^0x5eed)),
+		Delay:           cfg.Delay.build(),
+		Link:            cfg.Link.toTopo(),
+		Scenario:        cfg.Scenario,
+		TickParallelism: cfg.TickParallelism,
+		Seed:            cfg.Seed,
 	})
 	if err != nil {
 		return nil, err
@@ -116,7 +117,7 @@ func New(cfg Config) (*Network, error) {
 		})
 		rt.SetEstimator(layer)
 	default: // oracle
-		policy, err := cfg.Estimates.buildPolicy(rt.RNG.Split())
+		policy, err := cfg.Estimates.buildPolicy(n, rt.RNG.Split())
 		if err != nil {
 			return nil, err
 		}

@@ -23,12 +23,27 @@ type BlockSync struct {
 	l    []float64
 	m    []float64
 	mult []float64
-	// nbrs is the neighbor-enumeration scratch buffer, reused across every
-	// node and tick so the hot path stays allocation-free.
-	nbrs []int
+	// nbrs[shard] is that shard's neighbor-enumeration scratch buffer,
+	// reused across every node and tick so the hot path stays
+	// allocation-free even when Step fans across the tick shards.
+	nbrs [][]int
+	// shardCtr gives each tick shard a private mode tally; Step folds the
+	// blocks into the public counters after the barrier (identical totals
+	// to the serial tick). decideFn/integrateFn are method values built
+	// once in Init; dHTick carries the tick's increments into the phases.
+	shardCtr    []blockCounters
+	decideFn    func(shard, lo, hi int)
+	integrateFn func(shard, lo, hi int)
+	dHTick      []float64
 
 	// FastTicks/SlowTicks count node-ticks per mode.
 	FastTicks, SlowTicks uint64
+}
+
+// blockCounters is one shard's tally, padded onto its own cache line.
+type blockCounters struct {
+	fast, slow uint64
+	_          [6]uint64
 }
 
 var _ runner.Algorithm = (*BlockSync)(nil)
@@ -57,6 +72,11 @@ func (b *BlockSync) Init(rt *runner.Runtime) {
 	for i := range b.mult {
 		b.mult[i] = 1
 	}
+	shards := rt.TickShards()
+	b.nbrs = make([][]int, shards)
+	b.shardCtr = make([]blockCounters, shards)
+	b.decideFn = b.decideShard
+	b.integrateFn = b.integrateShard
 }
 
 // OnEdgeUp implements runner.Algorithm; neighbors are used immediately (the
@@ -82,13 +102,35 @@ func (b *BlockSync) OnBeacon(to, _ int, bc transport.Beacon, d transport.Deliver
 // OnControl implements runner.Algorithm.
 func (b *BlockSync) OnControl(_, _ int, _ any, _ transport.Delivery) {}
 
-// Step implements runner.Algorithm.
+// Step implements runner.Algorithm: decide every mode from pre-tick state,
+// then integrate — the same two sharded phases as the core algorithm (see
+// core.Algorithm.Step for the determinism argument), so E03 compares
+// algorithms under identical substrate parallelism.
 func (b *BlockSync) Step(_ sim.Time, dH []float64) {
-	for u := range b.l {
-		b.mult[u] = b.decideMode(u)
+	b.dHTick = dH
+	b.rt.ParallelTick(len(b.l), b.decideFn)
+	b.rt.ParallelTick(len(b.l), b.integrateFn)
+	for i := range b.shardCtr {
+		c := &b.shardCtr[i]
+		b.FastTicks += c.fast
+		b.SlowTicks += c.slow
+		*c = blockCounters{}
 	}
+}
+
+// decideShard runs the mode-decision phase for nodes [lo, hi).
+func (b *BlockSync) decideShard(shard, lo, hi int) {
+	c := &b.shardCtr[shard]
+	for u := lo; u < hi; u++ {
+		b.mult[u] = b.decideMode(u, shard, c)
+	}
+}
+
+// integrateShard runs the clock-integration phase for nodes [lo, hi).
+func (b *BlockSync) integrateShard(_, lo, hi int) {
 	oneMinus := (1 - b.Rho) / (1 + b.Rho)
-	for u := range b.l {
+	dH := b.dHTick
+	for u := lo; u < hi; u++ {
 		b.l[u] += b.mult[u] * dH[u]
 		if b.m[u] <= b.l[u] {
 			b.m[u] = b.l[u]
@@ -101,11 +143,11 @@ func (b *BlockSync) Step(_ sim.Time, dH []float64) {
 	}
 }
 
-func (b *BlockSync) decideMode(u int) float64 {
+func (b *BlockSync) decideMode(u, shard int, c *blockCounters) float64 {
 	lu := b.l[u]
 	delta := b.S / 20
-	b.nbrs = b.rt.Dyn.Neighbors(u, b.nbrs[:0])
-	nbrs := b.nbrs
+	b.nbrs[shard] = b.rt.Dyn.Neighbors(u, b.nbrs[shard][:0])
+	nbrs := b.nbrs[shard]
 	fastWitness, fastBlocked := false, false
 	slowWitness, slowBlocked := false, false
 	for _, v := range nbrs {
@@ -134,22 +176,22 @@ func (b *BlockSync) decideMode(u int) float64 {
 	}
 	switch {
 	case slowWitness && !slowBlocked:
-		b.SlowTicks++
+		c.slow++
 		return 1
 	case fastWitness && !fastBlocked:
-		b.FastTicks++
+		c.fast++
 		return 1 + b.Mu
 	case lu >= b.m[u]-1e-12:
-		b.SlowTicks++
+		c.slow++
 		return 1
 	case lu <= b.m[u]-b.Iota:
-		b.FastTicks++
+		c.fast++
 		return 1 + b.Mu
 	default:
 		if b.mult[u] > 1 {
-			b.FastTicks++
+			c.fast++
 		} else {
-			b.SlowTicks++
+			c.slow++
 		}
 		return b.mult[u]
 	}

@@ -21,6 +21,10 @@ type MaxSync struct {
 
 	rt *runner.Runtime
 	l  []float64
+	// stepFn/dHTick drive the sharded integration (method value built once
+	// in Init; increments for the tick in flight).
+	stepFn func(shard, lo, hi int)
+	dHTick []float64
 	// Jumps counts forward sets for diagnostics.
 	Jumps uint64
 }
@@ -37,6 +41,7 @@ func (m *MaxSync) Name() string { return "maxsync" }
 func (m *MaxSync) Init(rt *runner.Runtime) {
 	m.rt = rt
 	m.l = make([]float64, rt.N())
+	m.stepFn = m.stepShard
 }
 
 // OnEdgeUp implements runner.Algorithm (no-op: no insertion protocol).
@@ -63,9 +68,16 @@ func (m *MaxSync) OnBeacon(to, _ int, b transport.Beacon, d transport.Delivery) 
 // OnControl implements runner.Algorithm.
 func (m *MaxSync) OnControl(_, _ int, _ any, _ transport.Delivery) {}
 
-// Step implements runner.Algorithm: clocks advance at the hardware rate.
+// Step implements runner.Algorithm: clocks advance at the hardware rate
+// (sharded; each shard touches only its own l range).
 func (m *MaxSync) Step(_ sim.Time, dH []float64) {
-	for u := range m.l {
+	m.dHTick = dH
+	m.rt.ParallelTick(len(m.l), m.stepFn)
+}
+
+func (m *MaxSync) stepShard(_, lo, hi int) {
+	dH := m.dHTick
+	for u := lo; u < hi; u++ {
 		m.l[u] += dH[u]
 	}
 }

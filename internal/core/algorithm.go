@@ -87,6 +87,16 @@ type Algorithm struct {
 	// evals is scratch for the reference trigger evaluation.
 	evals []edgeEval
 
+	// Sharded-tick machinery: Step fans its two phases over the runtime's
+	// tick shards (see Step). shardCtr gives each shard a private counter
+	// block; decideFn/integrateFn are method values built once in Init so
+	// the per-tick fan-out never allocates; dHTick carries the current
+	// tick's hardware increments into the phase bodies.
+	shardCtr    []modeCounters
+	decideFn    func(shard, lo, hi int)
+	integrateFn func(shard, lo, hi int)
+	dHTick      []float64
+
 	// Counters (diagnostics; tests assert on several).
 	FastTicks        uint64 // node-ticks spent in fast mode
 	SlowTicks        uint64 // node-ticks spent in slow mode
@@ -94,6 +104,15 @@ type Algorithm struct {
 	MissingEstimates uint64 // trigger evaluations lacking an estimate
 	Insertions       uint64 // completed computeInsertionTimes calls
 	HandshakeAborts  uint64 // handshake checks that found the edge gone
+}
+
+// modeCounters is one shard's private tally for a tick phase; Step folds the
+// blocks into the public counters after the barrier, in shard order, so the
+// totals are byte-identical to the serial tick's. The padding keeps adjacent
+// shards' hot words on separate cache lines.
+type modeCounters struct {
+	fast, slow, conflicts, missing uint64
+	_                              [4]uint64
 }
 
 var _ runner.Algorithm = (*Algorithm)(nil)
@@ -151,6 +170,9 @@ func (a *Algorithm) Init(rt *runner.Runtime) {
 		a.edges[i] = make(map[int]*edgeRec)
 	}
 	a.peers = make([][]int, a.n)
+	a.shardCtr = make([]modeCounters, rt.TickShards())
+	a.decideFn = a.decideShard
+	a.integrateFn = a.integrateShard
 	a.refreshSMax()
 }
 
@@ -470,12 +492,41 @@ type edgeEval struct {
 
 // Step implements runner.Algorithm: first decide every node's mode from the
 // pre-tick state (Listing 3), then integrate clocks and max estimates.
-func (a *Algorithm) Step(t sim.Time, dH []float64) {
-	for u := 0; u < a.n; u++ {
-		a.mult[u] = a.decideMode(u)
+//
+// The two phases are exactly the split the sharded tick needs, because the
+// paper's Listing 3 already decides every node's mode from pre-tick state:
+// the decide phase reads only clocks no shard writes (l, m, and neighbor
+// estimates of pre-tick values) and writes only the owning node's mult entry
+// and per-shard counters; after the barrier, the integrate phase touches
+// disjoint l/m ranges. Both fan out through the runtime's ParallelTick, so
+// results are byte-identical for every TickParallelism — pinned by the
+// differential tests in parallel_tick_test.go. The reference trigger path
+// stays serial: it shares one evals scratch buffer across nodes.
+func (a *Algorithm) Step(_ sim.Time, dH []float64) {
+	a.dHTick = dH
+	if a.refTriggers {
+		a.decideShard(0, 0, a.n)
+		a.integrateShard(0, 0, a.n)
+	} else {
+		a.rt.ParallelTick(a.n, a.decideFn)
+		a.rt.ParallelTick(a.n, a.integrateFn)
 	}
+	a.mergeCounters()
+}
+
+// decideShard runs the mode-decision phase for nodes [lo, hi).
+func (a *Algorithm) decideShard(shard, lo, hi int) {
+	c := &a.shardCtr[shard]
+	for u := lo; u < hi; u++ {
+		a.mult[u] = a.decideMode(u, c)
+	}
+}
+
+// integrateShard runs the clock-integration phase for nodes [lo, hi).
+func (a *Algorithm) integrateShard(_, lo, hi int) {
 	oneMinus := (1 - a.p.Rho) / (1 + a.p.Rho)
-	for u := 0; u < a.n; u++ {
+	dH := a.dHTick
+	for u := lo; u < hi; u++ {
 		a.l[u] += a.mult[u] * dH[u]
 		if a.m[u] <= a.l[u] {
 			// M_u = L_u: the estimate moves with the logical clock.
@@ -490,34 +541,48 @@ func (a *Algorithm) Step(t sim.Time, dH []float64) {
 	}
 }
 
+// mergeCounters folds the per-shard tallies into the public counters, in
+// shard order, and clears the blocks for the next tick.
+func (a *Algorithm) mergeCounters() {
+	for i := range a.shardCtr {
+		c := &a.shardCtr[i]
+		a.FastTicks += c.fast
+		a.SlowTicks += c.slow
+		a.TriggerConflicts += c.conflicts
+		a.MissingEstimates += c.missing
+		*c = modeCounters{}
+	}
+}
+
 // decideMode evaluates the triggers of Definitions 4.5–4.7 for node u and
-// returns the rate multiplier per Listing 3.
-func (a *Algorithm) decideMode(u int) float64 {
-	fast, slow := a.evalTriggers(u)
+// returns the rate multiplier per Listing 3, tallying into the caller's
+// shard counters.
+func (a *Algorithm) decideMode(u int, c *modeCounters) float64 {
+	fast, slow := a.evalTriggers(u, c)
 	if fast && slow {
-		a.TriggerConflicts++
+		c.conflicts++
 	}
 	switch {
 	case slow:
-		a.SlowTicks++
+		c.slow++
 		return 1
 	case fast:
-		a.FastTicks++
+		c.fast++
 		return 1 + a.p.Mu
 	case a.l[u] >= a.m[u]-1e-12:
 		// Slow max-estimate trigger: L_u = M_u.
-		a.SlowTicks++
+		c.slow++
 		return 1
 	case a.l[u] <= a.m[u]-a.p.Iota:
 		// Fast max-estimate trigger.
-		a.FastTicks++
+		c.fast++
 		return 1 + a.p.Mu
 	default:
 		// Free region: keep the current mode.
 		if a.mult[u] > 1 {
-			a.FastTicks++
+			c.fast++
 		} else {
-			a.SlowTicks++
+			c.slow++
 		}
 		return a.mult[u]
 	}
@@ -540,9 +605,9 @@ func (a *Algorithm) decideMode(u int) float64 {
 // exact floating-point comparisons of the reference loop by the fix-up steps
 // in the *Level helpers, so the decisions are bit-identical — enforced by
 // the differential and fuzz tests in trigger_test.go.
-func (a *Algorithm) evalTriggers(u int) (fast, slow bool) {
+func (a *Algorithm) evalTriggers(u int, c *modeCounters) (fast, slow bool) {
 	if a.refTriggers {
-		return a.evalTriggersRef(u)
+		return a.evalTriggersRef(u, c)
 	}
 	lu := a.l[u]
 	var fw, fb, sw, sb int // prefix maxima: fast/slow × witness/blocked
@@ -557,7 +622,7 @@ func (a *Algorithm) evalTriggers(u int) (fast, slow bool) {
 		}
 		est, ok := a.rt.Est.Estimate(u, rec.peer)
 		if !ok {
-			a.MissingEstimates++
+			c.missing++
 			continue
 		}
 		kappa := a.kappaAt(rec, lu)
@@ -652,8 +717,9 @@ func (a *Algorithm) slowBlockedLevel(ahead, kappa, delta, eps, tau float64, top 
 
 // evalTriggersRef is the retained reference: gather per-edge values, then
 // scan every level s with the literal double loops. Kept as the oracle the
-// single-pass engine is differentially tested against.
-func (a *Algorithm) evalTriggersRef(u int) (fast, slow bool) {
+// single-pass engine is differentially tested against. It shares the evals
+// scratch across nodes, which is why Step keeps the reference path serial.
+func (a *Algorithm) evalTriggersRef(u int, c *modeCounters) (fast, slow bool) {
 	a.evals = a.evals[:0]
 	maxLevel := 0
 	for _, peer := range a.peers[u] {
@@ -667,7 +733,7 @@ func (a *Algorithm) evalTriggersRef(u int) (fast, slow bool) {
 		}
 		est, ok := a.rt.Est.Estimate(u, rec.peer)
 		if !ok {
-			a.MissingEstimates++
+			c.missing++
 			continue
 		}
 		kappa := a.kappaAt(rec, a.l[u])

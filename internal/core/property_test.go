@@ -26,11 +26,11 @@ func TestTriggerExclusivityProperty(t *testing.T) {
 			// trigger boundaries are hit often.
 			h.algo.SetLogical(u, float64(r%67)*0.15)
 		}
-		before := h.algo.TriggerConflicts
+		var c modeCounters
 		for u := 0; u < 5; u++ {
-			h.algo.decideMode(u)
+			h.algo.decideMode(u, &c)
 		}
-		return h.algo.TriggerConflicts == before
+		return c.conflicts == 0
 	}
 	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(17))}
 	if err := quick.Check(f, cfg); err != nil {
@@ -51,8 +51,9 @@ func TestMaxModeEnvelopeProperty(t *testing.T) {
 		for u, r := range raw {
 			h.algo.SetLogical(u, float64(r%50)*0.2)
 		}
+		var c modeCounters
 		for u := 0; u < 4; u++ {
-			m := h.algo.decideMode(u)
+			m := h.algo.decideMode(u, &c)
 			if m != 1 && m != 1+tMu {
 				return false
 			}
@@ -84,7 +85,7 @@ func TestMaxNodeIsSlowProperty(t *testing.T) {
 				maxU, maxV = u, v
 			}
 		}
-		return h.algo.decideMode(maxU) == 1
+		return h.algo.decideMode(maxU, &modeCounters{}) == 1
 	}
 	cfg := &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(23))}
 	if err := quick.Check(f, cfg); err != nil {

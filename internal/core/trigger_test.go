@@ -166,9 +166,10 @@ func TestTriggerSinglePassMatchesReferenceOnRandomClocks(t *testing.T) {
 		for u, r := range raw {
 			h.algo.SetLogical(u, float64(r%89)*0.11)
 		}
+		var c modeCounters
 		for u := 0; u < 7; u++ {
-			fastFold, slowFold := h.algo.evalTriggers(u)
-			fastRef, slowRef := h.algo.evalTriggersRef(u)
+			fastFold, slowFold := h.algo.evalTriggers(u, &c)
+			fastRef, slowRef := h.algo.evalTriggersRef(u, &c)
 			if fastFold != fastRef || slowFold != slowRef {
 				t.Logf("node %d: fold (%v,%v) vs ref (%v,%v)", u, fastFold, slowFold, fastRef, slowRef)
 				return false

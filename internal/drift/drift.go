@@ -18,6 +18,28 @@ type Schedule interface {
 	Rate(u int, t sim.Time) float64
 }
 
+// ConcurrentSchedule is the opt-in contract of the sharded integration tick:
+// a schedule whose ConcurrentRates returns true promises that Rate may be
+// called concurrently for distinct nodes within one tick — after PrepareTick
+// ran, when the schedule also implements TickPreparer — without races and
+// with values independent of call order. Every schedule in this package
+// satisfies the contract; the runner falls back to serial rate evaluation
+// for schedules that do not implement it, so a stateful external Schedule
+// stays correct by default.
+type ConcurrentSchedule interface {
+	ConcurrentRates() bool
+}
+
+// TickPreparer is implemented by schedules with lazily extended internal
+// state (RandomWalk's piecewise-constant paths). The runner calls
+// PrepareTick(t, n) once, serially, before fanning Rate(u, t) for u ∈ [0, n)
+// across shards, so all RNG draws happen in the fixed ascending-node order
+// the serial tick has always used and the concurrent reads hit only
+// materialized state.
+type TickPreparer interface {
+	PrepareTick(t sim.Time, n int)
+}
+
 // Clamp limits r to the legal envelope [1−ρ, 1+ρ].
 func Clamp(r, rho float64) float64 {
 	if r < 1-rho {
@@ -34,6 +56,9 @@ type Constant struct{ R float64 }
 
 // Rate implements Schedule.
 func (c Constant) Rate(int, sim.Time) float64 { return c.R }
+
+// ConcurrentRates implements ConcurrentSchedule (stateless).
+func (Constant) ConcurrentRates() bool { return true }
 
 // Perfect is the drift-free schedule (rate 1 everywhere).
 func Perfect() Schedule { return Constant{R: 1} }
@@ -54,6 +79,9 @@ func (g TwoGroup) Rate(u int, _ sim.Time) float64 {
 	return 1 - g.Rho
 }
 
+// ConcurrentRates implements ConcurrentSchedule (stateless).
+func (TwoGroup) ConcurrentRates() bool { return true }
+
 // Linear interpolates rates across node ids from 1+ρ at node 0 down to 1−ρ
 // at node N−1, producing a smooth skew gradient along a line topology.
 type Linear struct {
@@ -70,6 +98,9 @@ func (l Linear) Rate(u int, _ sim.Time) float64 {
 	return 1 + l.Rho*(1-2*frac)
 }
 
+// ConcurrentRates implements ConcurrentSchedule (stateless).
+func (Linear) ConcurrentRates() bool { return true }
+
 // Sinusoid gives node u rate 1 + ρ·sin(2π(t/Period + u·PhasePerNode)). With
 // distinct phases this exercises time-varying relative drift.
 type Sinusoid struct {
@@ -85,6 +116,9 @@ func (s Sinusoid) Rate(u int, t sim.Time) float64 {
 	}
 	return 1 + s.Rho*math.Sin(2*math.Pi*(t/s.Period+float64(u)*s.PhasePerNode))
 }
+
+// ConcurrentRates implements ConcurrentSchedule (stateless).
+func (Sinusoid) ConcurrentRates() bool { return true }
 
 // Flip alternates each node between +ρ and −ρ with a per-node period,
 // flipping at staggered offsets so relative drift direction keeps changing.
@@ -104,6 +138,9 @@ func (f Flip) Rate(u int, t sim.Time) float64 {
 	}
 	return 1 - f.Rho
 }
+
+// ConcurrentRates implements ConcurrentSchedule (stateless).
+func (Flip) ConcurrentRates() bool { return true }
 
 // RandomWalk gives each node an independent bounded random-walk rate,
 // resampled every Step time units. It is deterministic for a fixed seed.
@@ -142,6 +179,25 @@ func (w *RandomWalk) Rate(u int, t sim.Time) float64 {
 	return 1 + path[idx]
 }
 
+// ConcurrentRates implements ConcurrentSchedule: safe once PrepareTick has
+// materialized every path for the tick, because the concurrent Rate calls
+// then only read (the redundant same-value slice-header store hits only the
+// caller's own index).
+func (*RandomWalk) ConcurrentRates() bool { return true }
+
+// PrepareTick implements TickPreparer: it extends every node's path up to
+// the segment covering t, drawing from the shared RNG in ascending node
+// order — exactly the order the serial tick's Rate loop has always used, so
+// prepared and unprepared runs are byte-identical.
+func (w *RandomWalk) PrepareTick(t sim.Time, n int) {
+	if n > len(w.rates) {
+		n = len(w.rates)
+	}
+	for u := 0; u < n; u++ {
+		w.Rate(u, t)
+	}
+}
+
 // Switching wraps another schedule and switches it on only during
 // [From, Until); outside the window every node runs at rate 1. It is used to
 // build skew during a set-up phase and then hold the system steady.
@@ -159,6 +215,30 @@ func (s Switching) Rate(u int, t sim.Time) float64 {
 	return 1
 }
 
+// ConcurrentRates implements ConcurrentSchedule by delegating to the wrapped
+// schedule; an inner schedule without the contract keeps the whole window
+// serial.
+func (s Switching) ConcurrentRates() bool {
+	if c, ok := s.Inner.(ConcurrentSchedule); ok {
+		return c.ConcurrentRates()
+	}
+	return false
+}
+
+// PrepareTick implements TickPreparer by forwarding to the wrapped schedule,
+// but only inside [From, Until) — exactly when a serial tick would invoke
+// Inner.Rate. Forwarding while the window is closed would draw lazy inner
+// state (RandomWalk segments) earlier than the serial order does and break
+// byte-identity across parallelism.
+func (s Switching) PrepareTick(t sim.Time, n int) {
+	if t < s.From || t >= s.Until {
+		return
+	}
+	if p, ok := s.Inner.(TickPreparer); ok {
+		p.PrepareTick(t, n)
+	}
+}
+
 // PerNode assigns each node an individually fixed rate; missing entries run
 // at rate 1.
 type PerNode struct {
@@ -172,3 +252,6 @@ func (p PerNode) Rate(u int, _ sim.Time) float64 {
 	}
 	return 1
 }
+
+// ConcurrentRates implements ConcurrentSchedule (concurrent map reads only).
+func (PerNode) ConcurrentRates() bool { return true }

@@ -27,10 +27,29 @@ type Layer interface {
 	Eps(u, v int) float64
 }
 
+// ConcurrentLayer is the opt-in contract of the sharded integration tick: a
+// layer whose ConcurrentQueries returns true promises that Estimate and Eps
+// may be called concurrently for distinct querying nodes u while no clock
+// integrates — without races, and with values independent of which shard
+// asks first. The runner keeps the whole tick serial for layers that do not
+// implement it, so a stateful external layer stays correct by default.
+type ConcurrentLayer interface {
+	ConcurrentQueries() bool
+}
+
 // ErrorPolicy chooses the oracle's estimate error within [−ε, +ε]. It plays
 // the role of the estimate-layer adversary.
 type ErrorPolicy interface {
 	Err(u, v int, trueU, trueV, eps float64) float64
+}
+
+// ConcurrentPolicy marks error policies whose Err is safe and
+// order-independent under concurrent calls with distinct u (the querying
+// node). The Oracle layer is concurrent exactly when its policy is; a policy
+// without the marker — notably RandomError's shared stream — keeps the tick
+// serial.
+type ConcurrentPolicy interface {
+	ConcurrentErrs() bool
 }
 
 // ZeroError returns perfect estimates (error 0).
@@ -39,7 +58,14 @@ type ZeroError struct{}
 // Err implements ErrorPolicy.
 func (ZeroError) Err(_, _ int, _, _, _ float64) float64 { return 0 }
 
-// RandomError draws the error uniformly from [−ε, +ε].
+// ConcurrentErrs implements ConcurrentPolicy (stateless).
+func (ZeroError) ConcurrentErrs() bool { return true }
+
+// RandomError draws the error uniformly from [−ε, +ε] out of one shared
+// stream, so the draw a query receives depends on global query order. That
+// makes it inherently serial: it does NOT implement ConcurrentPolicy, and a
+// network using it keeps the serial tick regardless of TickParallelism. Use
+// PerNodeRandomError where the tick should shard.
 type RandomError struct{ RNG *sim.RNG }
 
 // Err implements ErrorPolicy.
@@ -47,17 +73,70 @@ func (r RandomError) Err(_, _ int, _, _, eps float64) float64 {
 	return r.RNG.Uniform(-eps, eps)
 }
 
+// PerNodeRandomError draws the error uniformly from [−ε, +ε], like
+// RandomError, but from a dedicated stream per querying node. Node u's draw
+// sequence then depends only on u's own query history — each node queries
+// its neighbors in a fixed per-tick order — so the adversary is
+// deterministic under any shard fan-out, and shards never contend on a
+// stream. This is the "random" policy of the public config.
+//
+// The streams are SplitMix64 (sim.SplitMix64), not math/rand sources: this
+// policy is queried once per live edge per tick on the hottest path in the
+// repository, and it scales per node. An LFG source costs ~5 KB of state
+// and ~30 µs of seeding per node (5 GB / 30 s at N=10⁶) and its Uint64
+// dominated the tick profile; SplitMix64 is 8 bytes per node, seeded in
+// one multiply, and a handful of ALU ops per draw, while still giving
+// well-distributed 64-bit uniform outputs.
+type PerNodeRandomError struct {
+	states []uint64
+}
+
+// NewPerNodeRandomError builds the policy for n querying nodes, deriving
+// one well-separated stream per node from a single draw off rng.
+func NewPerNodeRandomError(n int, rng *sim.RNG) *PerNodeRandomError {
+	base := rng.Uint64()
+	states := make([]uint64, n)
+	for u := range states {
+		// One mixing round decorrelates adjacent node seeds.
+		states[u] = sim.SplitMix64(base + uint64(u)*sim.SplitMixGamma)
+	}
+	return &PerNodeRandomError{states: states}
+}
+
+// Err implements ErrorPolicy.
+func (p *PerNodeRandomError) Err(u, _ int, _, _, eps float64) float64 {
+	if u < 0 || u >= len(p.states) {
+		return 0
+	}
+	out := sim.SplitMix64(p.states[u])
+	p.states[u] += sim.SplitMixGamma
+	// 53-bit mantissa → uniform in [0,1), mapped onto [−ε, +ε).
+	f := float64(out>>11) / (1 << 53)
+	return -eps + 2*eps*f
+}
+
+// ConcurrentErrs implements ConcurrentPolicy: distinct querying nodes touch
+// distinct streams, and the sharded tick never splits one node's queries
+// across shards.
+func (*PerNodeRandomError) ConcurrentErrs() bool { return true }
+
 // HoldBack always reports −ε (estimates lag behind the truth).
 type HoldBack struct{}
 
 // Err implements ErrorPolicy.
 func (HoldBack) Err(_, _ int, _, _, eps float64) float64 { return -eps }
 
+// ConcurrentErrs implements ConcurrentPolicy (stateless).
+func (HoldBack) ConcurrentErrs() bool { return true }
+
 // PushForward always reports +ε.
 type PushForward struct{}
 
 // Err implements ErrorPolicy.
 func (PushForward) Err(_, _ int, _, _, eps float64) float64 { return eps }
+
+// ConcurrentErrs implements ConcurrentPolicy (stateless).
+func (PushForward) ConcurrentErrs() bool { return true }
 
 // AntiConvergence chooses the sign that makes the neighbor look closer to u
 // than it truly is: nodes ahead appear less ahead and nodes behind appear
@@ -73,6 +152,9 @@ func (AntiConvergence) Err(_, _ int, trueU, trueV, eps float64) float64 {
 	return eps
 }
 
+// ConcurrentErrs implements ConcurrentPolicy (stateless).
+func (AntiConvergence) ConcurrentErrs() bool { return true }
+
 // Amplify chooses the sign that makes the neighbor look farther from u than
 // it truly is, over-triggering corrections (stress for stability).
 type Amplify struct{}
@@ -84,6 +166,9 @@ func (Amplify) Err(_, _ int, trueU, trueV, eps float64) float64 {
 	}
 	return -eps
 }
+
+// ConcurrentErrs implements ConcurrentPolicy (stateless).
+func (Amplify) ConcurrentErrs() bool { return true }
 
 // Oracle is the abstract-model estimate layer.
 type Oracle struct {
@@ -128,4 +213,12 @@ func (o *Oracle) Eps(u, v int) float64 {
 		return 0
 	}
 	return p.Eps
+}
+
+// ConcurrentQueries implements ConcurrentLayer: the oracle itself only reads
+// the (tick-stable) topology and clocks, so it is concurrent exactly when
+// its error policy is.
+func (o *Oracle) ConcurrentQueries() bool {
+	c, ok := o.policy.(ConcurrentPolicy)
+	return ok && c.ConcurrentErrs()
 }

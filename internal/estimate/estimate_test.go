@@ -85,6 +85,48 @@ func TestOracleRandomErrorWithinBound(t *testing.T) {
 	}
 }
 
+func TestOraclePerNodeRandomErrorWithinBoundAndDeterministic(t *testing.T) {
+	_, dyn := twoNodeGraph(t)
+	clocks := []float64{0, 5}
+	eps := linkParams().Eps
+	draw := func() []float64 {
+		o := NewOracle(dyn, func(u int) float64 { return clocks[u] }, NewPerNodeRandomError(2, sim.NewRNG(2)))
+		out := make([]float64, 0, 200)
+		for i := 0; i < 200; i++ {
+			got, ok := o.Estimate(0, 1)
+			if !ok {
+				t.Fatal("estimate unavailable")
+			}
+			if math.Abs(got-5) > eps+1e-12 {
+				t.Fatalf("estimate error %v exceeds ε=%v", got-5, eps)
+			}
+			out = append(out, got)
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	varied := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across identically seeded policies: %v vs %v", i, a[i], b[i])
+		}
+		if i > 0 && a[i] != a[i-1] {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("per-node random policy returned a constant sequence")
+	}
+	// The shared-stream policy must stay serial-only; the per-node one opts
+	// into the sharded tick.
+	if _, ok := any(RandomError{}).(ConcurrentPolicy); ok {
+		t.Fatal("shared-stream RandomError must not implement ConcurrentPolicy")
+	}
+	if c, ok := any(&PerNodeRandomError{}).(ConcurrentPolicy); !ok || !c.ConcurrentErrs() {
+		t.Fatal("PerNodeRandomError must opt into concurrent queries")
+	}
+}
+
 func TestOracleUnavailableOnDeadEdge(t *testing.T) {
 	eng, dyn := twoNodeGraph(t)
 	o := NewOracle(dyn, func(int) float64 { return 0 }, nil)

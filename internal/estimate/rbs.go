@@ -222,5 +222,10 @@ func (r *RBS) Invalidate(u, v int) {
 	}
 }
 
+// ConcurrentQueries implements ConcurrentLayer: queries only read anchored
+// samples and clocks; samples are written by broadcast events, never inside
+// an integration tick.
+func (r *RBS) ConcurrentQueries() bool { return true }
+
 // CoListeners reports whether u and v share a reference source.
 func (r *RBS) CoListeners(u, v int) bool { return r.coListener[u][v] }

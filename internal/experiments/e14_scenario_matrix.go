@@ -75,6 +75,20 @@ func scenarioCases(n int, quick bool) []scenarioCase {
 			w := &scenario.ChurnWaves{WaveEvery: 3 * churnEvery, BurstSize: 5, Spacing: 0.3}
 			return gradsync.LineTopology(n), w, func() (int, error) { return w.Toggles, w.Err }
 		}},
+		{"pref-attach", true, func(n int) (gradsync.Topology, gradsync.Scenario, func() (int, error)) {
+			// Growth workload: half the nodes form the seed line, the rest
+			// join one by one with degree-weighted attachments. Initially
+			// the joiners are isolated (the disconnects flag), so only the
+			// post-growth skew is held against G̃.
+			seeds := n / 2
+			edges := make([][2]int, 0, seeds-1)
+			for u := 0; u+1 < seeds; u++ {
+				edges = append(edges, [2]int{u, u + 1})
+			}
+			p := &scenario.PreferentialAttachment{Seeds: seeds, JoinEvery: 5, M: 2}
+			return gradsync.CustomTopology(n, edges), p,
+				func() (int, error) { return p.Attached, p.Err }
+		}},
 		{"compose", false, func(n int) (gradsync.Topology, gradsync.Scenario, func() (int, error)) {
 			c := &scenario.Churn{Every: 2 * churnEvery}
 			f := &scenario.EdgeFlap{U: 1, V: n - 2, At: 20, Period: 0.3, Flaps: 7}

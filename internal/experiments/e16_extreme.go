@@ -41,7 +41,7 @@ func e16Cases(quick bool) []scaleCase {
 		ringDist = []int{1, 4, 16, 64}
 	}
 
-	return []scaleCase{
+	cases := []scaleCase{
 		{
 			name: "ring", n: ringN,
 			build: func() (gradsync.Topology, int, gradsync.Scenario, func() (int, error)) {
@@ -81,6 +81,34 @@ func e16Cases(quick bool) []scaleCase {
 			connected: false,
 		},
 	}
+	if e16LargeTier && !quick {
+		// The N=10⁶ rung, nightly-only: the sharded tick's feasibility row.
+		// One ring at a million nodes with live chord churn — ~1 GB of
+		// simulation state and ~11M engine events per simulated unit — over
+		// a shortened horizon so the double-run byte-reproducibility check
+		// stays inside the nightly budget.
+		ringM := 1000000
+		chordsM := make([]scenario.Pair, 0, 64)
+		for i := 0; i < 64; i++ {
+			u := i * (ringM / 2) / 64
+			chordsM = append(chordsM, scenario.Pair{u, u + ringM/2})
+		}
+		cases = append(cases, scaleCase{
+			name: "ring-1M", n: ringM, horizon: 4,
+			build: func() (gradsync.Topology, int, gradsync.Scenario, func() (int, error)) {
+				c := &scenario.Churn{Every: 1.5, Pairs: chordsM}
+				return gradsync.RingTopology(ringM), ringM / 2, c,
+					func() (int, error) { return c.Toggles, c.Err }
+			},
+			checkDistances: []int{1, 64, 4096},
+			pairFor: func(sample, d int) (int, int) {
+				u := sample * 997 % ringM
+				return u, (u + d) % ringM
+			},
+			connected: true,
+		})
+	}
+	return cases
 }
 
 // E16ExtremeScale is the tier above E15: it proves the single-pass trigger
@@ -97,7 +125,7 @@ func E16ExtremeScale(spec Spec) *Result {
 	runScaleTier(r, spec, 16, "extreme-scale tier × substrate load and gradient legality",
 		horizon, e16Cases(spec.Quick))
 	if e16LargeTier {
-		r.Notef("large build: the full tier runs N=10⁵ per topology")
+		r.Notef("large build: the full tier runs N=10⁵ per topology plus the ring-1M feasibility row (N=10⁶, sharded tick, horizon 4)")
 	} else {
 		r.Notef("default build caps the full tier at N=2·10⁴; compile with -tags large (nightly workflow) for the N=10⁵ rung")
 	}

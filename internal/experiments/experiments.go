@@ -9,6 +9,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"repro/internal/metrics"
@@ -28,6 +29,20 @@ type Spec struct {
 	// Parallelism bounds the replica worker pool (0 = GOMAXPROCS). It
 	// affects wall-clock time only, never results.
 	Parallelism int
+	// TickParallelism shards the integration tick of the networks the
+	// scale tiers build (E15, E16); 0 picks runtime.NumCPU(), so the tiers
+	// default to the sharded tick. Like Parallelism it affects wall-clock
+	// only, never results — the sharded tick is byte-identical for every
+	// shard count.
+	TickParallelism int
+}
+
+// TickShards resolves the effective tick parallelism for the scale tiers.
+func (s Spec) TickShards() int {
+	if s.TickParallelism > 0 {
+		return s.TickParallelism
+	}
+	return runtime.NumCPU()
 }
 
 // SeedFor derives the deterministic sub-seed for one component of an

@@ -24,6 +24,9 @@ type scaleCase struct {
 	// connected marks cases whose graph provably stays connected, so the
 	// global skew is held against G̃ throughout.
 	connected bool
+	// horizon, when positive, overrides the tier horizon for this case —
+	// the N=10⁶ rung runs a shorter window so the nightly budget holds.
+	horizon float64
 }
 
 // runScaleTier is the shared runner behind the scale tiers: every case runs
@@ -41,19 +44,28 @@ func runScaleTier(r *Result, spec Spec, tierID int64, tierTitle string, horizon 
 	var ringRows [][2]float64 // measured, bound — for the distance ladder table
 	var ringDist []int
 	for ci, c := range cases {
+		caseHorizon := horizon
+		if c.horizon > 0 {
+			caseHorizon = c.horizon
+		}
 		topology, diam, sc, report := c.build()
 		net := gradsync.MustNew(gradsync.Config{
 			Topology:     topology,
 			DiameterHint: diam,
 			Drift:        gradsync.TwoGroupDrift(c.n / 2),
 			Scenario:     sc,
-			Seed:         spec.SeedFor(tierID, int64(ci)),
+			// The scale tiers run the sharded tick by default (NumCPU):
+			// they exist to prove the substrate carries these N, and the
+			// sharded tick is byte-identical for every shard count, so the
+			// reports stay machine-independent.
+			TickParallelism: spec.TickShards(),
+			Seed:            spec.SeedFor(tierID, int64(ci)),
 		})
 
 		maxGlobal := 0.0
 		worst := make([]float64, len(c.checkDistances))
 		const samplesPerDist = 48
-		net.Every(horizon/8, func(float64) {
+		net.Every(caseHorizon/8, func(float64) {
 			if g := net.GlobalSkew(); g > maxGlobal {
 				maxGlobal = g
 			}
@@ -66,7 +78,7 @@ func runScaleTier(r *Result, spec Spec, tierID int64, tierTitle string, horizon 
 				}
 			}
 		})
-		net.RunFor(horizon)
+		net.RunFor(caseHorizon)
 		events := net.Runtime().Engine.Stepped
 
 		scEvents, scErr := report()

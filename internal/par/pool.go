@@ -1,0 +1,145 @@
+// Package par provides the deterministic fan-out primitive behind the
+// sharded integration tick: a persistent team of workers that splits an
+// index range [0, n) into contiguous, disjoint shards — one per worker —
+// runs a callback on every non-empty shard, and barriers before returning.
+//
+// The pool is built for a hot loop that fires tens of thousands of times per
+// simulated run: workers are spawned once and parked on channels, Run does
+// no allocation, and the shard boundaries depend only on (n, workers), never
+// on scheduling. Determinism is therefore structural: a callback that reads
+// only pre-tick state and writes only indices inside its shard produces
+// byte-identical results for every pool size, including 1.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// shared is the state the worker goroutines hold. It is separated from Pool
+// so the goroutines keep no reference to the Pool handle itself: when the
+// owning simulation drops the handle, the finalizer installed by New closes
+// quit and the parked workers exit. Simulations are built in loops by tests
+// and sweeps without an explicit lifecycle end, so reclamation must not
+// depend on anyone remembering to call Close.
+type shared struct {
+	workers int
+	n       int                     // fan-out size of the Run in flight
+	fn      func(shard, lo, hi int) // callback of the Run in flight
+	start   []chan struct{}         // one parked worker per channel (1..workers-1)
+	quit    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// Pool is a fixed-size team of persistent workers. The zero value is not
+// usable; construct with New.
+type Pool struct {
+	s *shared
+}
+
+// New builds a pool with the given number of workers, clamped to at least 1.
+// A pool of 1 never spawns goroutines: Run degenerates to an inline call.
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &shared{
+		workers: workers,
+		quit:    make(chan struct{}),
+	}
+	p := &Pool{s: s}
+	if workers > 1 {
+		s.start = make([]chan struct{}, workers)
+		for w := 1; w < workers; w++ {
+			s.start[w] = make(chan struct{}, 1)
+			go s.worker(w)
+		}
+		// Reclaim the parked goroutines when the handle is dropped (see the
+		// comment on shared). Close is still available for deterministic
+		// shutdown in tests.
+		runtime.SetFinalizer(p, func(p *Pool) { close(p.s.quit) })
+	}
+	return p
+}
+
+// Workers returns the pool size; shard indices passed to Run callbacks are
+// always in [0, Workers()).
+func (p *Pool) Workers() int { return p.s.workers }
+
+// Close releases the worker goroutines. The pool must not be used
+// afterwards. Closing is optional — an unreferenced pool is reclaimed by a
+// finalizer — but deterministic teardown keeps goroutine-leak checkers and
+// benchmarks honest.
+func (p *Pool) Close() {
+	if p.s.workers > 1 {
+		runtime.SetFinalizer(p, nil)
+		close(p.s.quit)
+	}
+}
+
+func (s *shared) worker(w int) {
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-s.start[w]:
+			lo, hi := ShardRange(s.n, s.workers, w)
+			if lo < hi {
+				s.fn(w, lo, hi)
+			}
+			s.wg.Done()
+		}
+	}
+}
+
+// Run splits [0, n) into Workers() contiguous shards and invokes fn once per
+// non-empty shard, concurrently, returning only after every shard finished
+// (the phase barrier). Shard 0 runs on the calling goroutine. fn must
+// confine its writes to indices inside [lo, hi) and to per-shard state;
+// cross-shard reads must be of state no shard writes during the Run.
+//
+// Run is not reentrant and must not be called concurrently with itself.
+func (p *Pool) Run(n int, fn func(shard, lo, hi int)) {
+	s := p.s
+	if n <= 0 {
+		return
+	}
+	if s.workers == 1 {
+		fn(0, 0, n)
+		return
+	}
+	s.n, s.fn = n, fn
+	s.wg.Add(s.workers - 1)
+	for w := 1; w < s.workers; w++ {
+		s.start[w] <- struct{}{}
+	}
+	if lo, hi := ShardRange(n, s.workers, 0); lo < hi {
+		fn(0, lo, hi)
+	}
+	s.wg.Wait()
+	s.fn = nil
+	// The handle must stay live across the barrier: `p` is dead after the
+	// first line of Run, so without this the finalizer could close quit
+	// mid-fan-out and a worker could take the quit case instead of its
+	// start token — exiting without wg.Done and deadlocking the Wait.
+	runtime.KeepAlive(p)
+}
+
+// ShardRange returns the half-open index range [lo, hi) of shard w when
+// [0, n) is split into `shards` chunks: sizes differ by at most one, earlier
+// shards take the remainder, and the union over w = 0..shards-1 covers
+// [0, n) exactly once. Empty shards (n < shards) return lo == hi.
+func ShardRange(n, shards, w int) (lo, hi int) {
+	base, rem := n/shards, n%shards
+	lo = w * base
+	if w < rem {
+		lo += w
+	} else {
+		lo += rem
+	}
+	hi = lo + base
+	if w < rem {
+		hi++
+	}
+	return lo, hi
+}

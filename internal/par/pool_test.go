@@ -1,0 +1,178 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// coverage runs fn-free bookkeeping: it marks every index each shard visits
+// and fails on overlap or gaps, the two ways a sharding bug corrupts a
+// deterministic tick.
+func checkCoverage(t *testing.T, n, shards int) {
+	t.Helper()
+	seen := make([]int, n)
+	total := 0
+	for w := 0; w < shards; w++ {
+		lo, hi := ShardRange(n, shards, w)
+		if lo > hi {
+			t.Fatalf("n=%d shards=%d w=%d: inverted range [%d,%d)", n, shards, w, lo, hi)
+		}
+		if lo < 0 || hi > n {
+			t.Fatalf("n=%d shards=%d w=%d: range [%d,%d) escapes [0,%d)", n, shards, w, lo, hi, n)
+		}
+		for i := lo; i < hi; i++ {
+			seen[i]++
+		}
+		total += hi - lo
+		// Chunked static sharding: sizes differ by at most one.
+		if sz := hi - lo; sz < n/shards || sz > n/shards+1 {
+			t.Fatalf("n=%d shards=%d w=%d: shard size %d outside {%d,%d}", n, shards, w, sz, n/shards, n/shards+1)
+		}
+	}
+	if total != n {
+		t.Fatalf("n=%d shards=%d: shards cover %d indices", n, shards, total)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("n=%d shards=%d: index %d covered %d times", n, shards, i, c)
+		}
+	}
+}
+
+// TestShardRangeBoundaries pins the edge cases of the static split: fewer
+// items than workers, non-divisible sizes, and the degenerate N=1.
+func TestShardRangeBoundaries(t *testing.T) {
+	cases := []struct{ n, shards int }{
+		{1, 1}, {1, 8}, // N=1
+		{3, 8}, {7, 8}, // N < workers: trailing shards must be empty
+		{8, 8}, {16, 8}, // exact division
+		{9, 8}, {17, 8}, // remainder 1
+		{15, 8}, {100, 7}, // general non-divisible
+		{10000, 3}, {10000, 8}, // tick-sized
+	}
+	for _, c := range cases {
+		checkCoverage(t, c.n, c.shards)
+	}
+	// N < workers concretely: exactly n non-empty singleton shards, leading.
+	for w := 0; w < 8; w++ {
+		lo, hi := ShardRange(3, 8, w)
+		if w < 3 && (lo != w || hi != w+1) {
+			t.Fatalf("n=3 shards=8 w=%d: got [%d,%d), want [%d,%d)", w, lo, hi, w, w+1)
+		}
+		if w >= 3 && lo != hi {
+			t.Fatalf("n=3 shards=8 w=%d: got non-empty [%d,%d)", w, lo, hi)
+		}
+	}
+}
+
+// FuzzShardRange lets the fuzzer hunt for (N, parallelism) pairs where the
+// shards fail to partition [0, N) exactly — the invariant every parallel
+// tick phase relies on for disjoint writes.
+func FuzzShardRange(f *testing.F) {
+	f.Add(uint16(1), uint8(1))
+	f.Add(uint16(1), uint8(255))
+	f.Add(uint16(7), uint8(8))
+	f.Add(uint16(10000), uint8(8))
+	f.Add(uint16(65535), uint8(3))
+	f.Fuzz(func(t *testing.T, nRaw uint16, shardsRaw uint8) {
+		n := int(nRaw)
+		shards := int(shardsRaw)
+		if shards < 1 {
+			shards = 1
+		}
+		if n == 0 {
+			for w := 0; w < shards; w++ {
+				if lo, hi := ShardRange(0, shards, w); lo != hi {
+					t.Fatalf("n=0 shards=%d w=%d: non-empty [%d,%d)", shards, w, lo, hi)
+				}
+			}
+			return
+		}
+		checkCoverage(t, n, shards)
+	})
+}
+
+// TestPoolRunCoversAllIndices drives the actual worker team over assorted
+// (n, workers) shapes and requires every index incremented exactly once per
+// Run, across repeated Runs on the same pool.
+func TestPoolRunCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := New(workers)
+		for _, n := range []int{1, 3, 7, 8, 64, 1001} {
+			marks := make([]int32, n)
+			for round := 0; round < 3; round++ {
+				p.Run(n, func(_, lo, hi int) {
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&marks[i], 1)
+					}
+				})
+			}
+			for i, m := range marks {
+				if m != 3 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times over 3 runs", workers, n, i, m)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestPoolShardIndexMatchesRange verifies the shard id handed to the
+// callback corresponds to the ShardRange split — per-shard scratch (the
+// counters in core) indexes by it.
+func TestPoolShardIndexMatchesRange(t *testing.T) {
+	const n, workers = 100, 8
+	p := New(workers)
+	defer p.Close()
+	var bad atomic.Int32
+	p.Run(n, func(shard, lo, hi int) {
+		wantLo, wantHi := ShardRange(n, workers, shard)
+		if lo != wantLo || hi != wantHi {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d shards saw ranges that disagree with ShardRange", bad.Load())
+	}
+}
+
+// TestPoolRunZero pins the n<=0 no-op and that empty shards are skipped.
+func TestPoolRunZero(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	calls := 0
+	p.Run(0, func(_, _, _ int) { calls++ })
+	if calls != 0 {
+		t.Fatalf("Run(0) invoked the callback %d times", calls)
+	}
+	var nonEmpty atomic.Int32
+	p.Run(2, func(_, lo, hi int) {
+		if lo >= hi {
+			t.Error("callback invoked for an empty shard")
+		}
+		nonEmpty.Add(1)
+	})
+	if nonEmpty.Load() != 2 {
+		t.Fatalf("Run(2) on 4 workers invoked %d non-empty shards, want 2", nonEmpty.Load())
+	}
+}
+
+// BenchmarkPoolRun measures the per-tick fan-out cost (the barrier overhead
+// every sharded tick pays) and pins it allocation-free.
+func BenchmarkPoolRun(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		p := New(workers)
+		sink := make([]float64, 10000)
+		b.Run(map[bool]string{true: "workers=1", false: "workers=8"}[workers == 1], func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p.Run(len(sink), func(_, lo, hi int) {
+					for j := lo; j < hi; j++ {
+						sink[j] += 1
+					}
+				})
+			}
+		})
+		p.Close()
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/drift"
 	"repro/internal/estimate"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/transport"
@@ -65,6 +66,17 @@ type Config struct {
 	Link topo.LinkParams
 	// Scenario, when non-nil, is installed at Start (see internal/scenario).
 	Scenario Scenario
+	// TickParallelism is the number of worker shards the integration tick
+	// fans per-node work across (drift-rate evaluation, hardware-clock
+	// integration, and — through ParallelTick — the hosted algorithm's
+	// decide and integrate phases). Values ≤ 1 keep the serial tick. Within
+	// a tick every cross-node read is of pre-tick state and every write goes
+	// to the owning shard's node range, so results are byte-identical for
+	// every value; the knob trades wall-clock only. Phases fall back to the
+	// serial path when the drift schedule or estimate layer does not opt
+	// into the concurrency contract (drift.ConcurrentSchedule,
+	// estimate.ConcurrentLayer).
+	TickParallelism int
 	// Seed feeds all randomness.
 	Seed int64
 }
@@ -100,6 +112,15 @@ type Runtime struct {
 	scratch   []int
 	dH        []float64
 
+	// pool is the sharded-tick worker team (nil when TickParallelism ≤ 1).
+	// tickT/tickDt carry the current tick into driftFn, a method value built
+	// once in New so the hot tick never allocates a closure.
+	pool    *par.Pool
+	driftOK bool // driftSrc honors drift.ConcurrentSchedule
+	tickT   sim.Time
+	tickDt  float64
+	driftFn func(shard, lo, hi int)
+
 	// wheel is the beacon wheel: one reusable timer walks the nodes in
 	// staggered order, replacing the N per-node tickers of the old runtime
 	// (at N=10⁴ those tickers alone dominated setup and queue depth).
@@ -131,8 +152,24 @@ func New(cfg Config) (*Runtime, error) {
 		HW:       make([]float64, cfg.N),
 		cfg:      cfg,
 		driftSrc: cfg.Drift,
+		// dH is allocated here, not lazily in the first tick, so the hot
+		// path carries no nil check and the slice pointer the sharded
+		// closures capture is stable for the runtime's lifetime.
+		dH: make([]float64, cfg.N),
+	}
+	rt.driftFn = rt.driftShard
+	rt.driftOK = concurrentSchedule(rt.driftSrc)
+	if cfg.TickParallelism > 1 {
+		rt.pool = par.New(cfg.TickParallelism)
 	}
 	return rt, nil
+}
+
+// concurrentSchedule reports whether the schedule opted into concurrent
+// per-node rate evaluation.
+func concurrentSchedule(s drift.Schedule) bool {
+	c, ok := s.(drift.ConcurrentSchedule)
+	return ok && c.ConcurrentRates()
 }
 
 // N returns the node count.
@@ -231,21 +268,78 @@ func (rt *Runtime) Run(until sim.Time) { rt.Engine.RunUntil(until) }
 // Algo returns the hosted algorithm.
 func (rt *Runtime) Algo() Algorithm { return rt.algo }
 
+// step is the integration tick. Phase 1 evaluates the adversary drift rates
+// and integrates the hardware clocks — sharded when a pool exists and the
+// schedule opted into concurrent evaluation, with lazily extended schedules
+// materialized serially first (drift.TickPreparer) so RNG draw order matches
+// the serial tick byte for byte. Phase 2 hands the increments to the
+// algorithm, whose Step shards its own phases through ParallelTick.
 func (rt *Runtime) step(t sim.Time, dt float64) {
-	if rt.dH == nil {
-		rt.dH = make([]float64, rt.cfg.N)
+	rt.tickT, rt.tickDt = t, dt
+	if rt.pool != nil && rt.driftOK {
+		if p, ok := rt.driftSrc.(drift.TickPreparer); ok {
+			p.PrepareTick(t, rt.cfg.N)
+		}
+		rt.pool.Run(rt.cfg.N, rt.driftFn)
+	} else {
+		rt.driftShard(0, 0, rt.cfg.N)
 	}
-	dH := rt.dH
-	for u := range dH {
+	rt.algo.Step(t, rt.dH)
+}
+
+// driftShard integrates the hardware clocks of nodes [lo, hi): reads are the
+// tick time and the (tick-stable) schedule, writes touch only the shard's
+// own dH/HW entries.
+func (rt *Runtime) driftShard(_, lo, hi int) {
+	t, dt := rt.tickT, rt.tickDt
+	dH, hw := rt.dH, rt.HW
+	for u := lo; u < hi; u++ {
 		rate := drift.Clamp(rt.driftSrc.Rate(u, t), 1) // ρ<1 always; schedules self-limit
 		dH[u] = rate * dt
-		rt.HW[u] += dH[u]
+		hw[u] += dH[u]
 	}
-	rt.algo.Step(t, dH)
 }
 
 // SetDrift swaps the drift adversary mid-run.
-func (rt *Runtime) SetDrift(s drift.Schedule) { rt.driftSrc = s }
+func (rt *Runtime) SetDrift(s drift.Schedule) {
+	rt.driftSrc = s
+	rt.driftOK = concurrentSchedule(s)
+}
+
+// TickShards returns the number of shards ParallelTick may split node work
+// into (≥ 1); algorithms size per-shard scratch (mode counters, neighbor
+// buffers) by it at Init.
+func (rt *Runtime) TickShards() int {
+	if rt.pool == nil {
+		return 1
+	}
+	return rt.pool.Workers()
+}
+
+// ParallelTick runs fn over the shard partition of [0, n) with a barrier —
+// the fan-out primitive the hosted algorithm's Step phases use. It degrades
+// to one inline shard when no pool is configured or the estimate layer did
+// not opt into concurrent queries (estimate.ConcurrentLayer), so algorithms
+// never need their own fallback. The concurrency contract of par.Pool.Run
+// applies: fn must write only inside [lo, hi) and per-shard state, and read
+// only state no shard writes during the call.
+func (rt *Runtime) ParallelTick(n int, fn func(shard, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if rt.pool == nil || !rt.estConcurrent() {
+		fn(0, 0, n)
+		return
+	}
+	rt.pool.Run(n, fn)
+}
+
+// estConcurrent is evaluated per fan-out, not cached: an Oracle layer's
+// safety can change when a test swaps its error policy mid-run.
+func (rt *Runtime) estConcurrent() bool {
+	c, ok := rt.Est.(estimate.ConcurrentLayer)
+	return ok && c.ConcurrentQueries()
+}
 
 func (rt *Runtime) sendBeacons(u int) {
 	b := transport.Beacon{L: rt.algo.Logical(u), M: rt.algo.MaxEstimate(u)}

@@ -37,6 +37,27 @@ func (g *RNG) Bool(p float64) bool { return g.r.Float64() < p }
 // NormFloat64 returns a standard normal sample.
 func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
 
+// Uint64 returns a uniform 64-bit value (seed material for derived
+// compact streams, e.g. the per-node estimate-error states).
+func (g *RNG) Uint64() uint64 { return g.r.Uint64() }
+
+// SplitMixGamma is the SplitMix64 stream increment — the golden-ratio odd
+// constant from Steele, Lea & Flood, "Fast Splittable Pseudorandom Number
+// Generators" (2014).
+const SplitMixGamma = 0x9e3779b97f4a7c15
+
+// SplitMix64 is the SplitMix64 step: advance x by SplitMixGamma and return
+// the finalized (bijectively mixed) output. It is the canonical mixer for
+// deriving well-separated deterministic streams from structured inputs —
+// the sweep layer's seed derivation and the estimate layer's per-node
+// error streams both build on it; keep the one implementation here.
+func SplitMix64(x uint64) uint64 {
+	x += SplitMixGamma
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // Exp returns an exponential sample with the given mean (Poisson event
 // gaps). A non-positive mean returns 0.
 func (g *RNG) Exp(mean float64) float64 {

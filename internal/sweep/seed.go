@@ -10,28 +10,23 @@
 // order — so the output is byte-identical for any worker-pool size.
 package sweep
 
-// splitmix64 is the finalizer of the SplitMix64 generator (Steele, Lea,
-// Flood 2014), a full-period bijective mixer. It turns structured inputs
-// (root seed plus small consecutive indices) into well-separated streams,
-// unlike the `root+i` arithmetic it replaces.
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
+import "repro/internal/sim"
 
 // Derive returns the child seed for a lineage of indices under root: the
 // replica index, a parameter-point index, a component tag — any path that
-// must yield an independent stream. The same (root, parts) always yields
-// the same seed; distinct lineages yield decorrelated seeds. The result is
-// non-negative so it can feed APIs that reserve negative seeds.
+// must yield an independent stream. Seeds are mixed with the SplitMix64
+// step (sim.SplitMix64, Steele, Lea & Flood 2014), a full-period bijective
+// mixer that turns structured inputs (root seed plus small consecutive
+// indices) into well-separated streams, unlike the `root+i` arithmetic it
+// replaced. The same (root, parts) always yields the same seed; distinct
+// lineages yield decorrelated seeds. The result is non-negative so it can
+// feed APIs that reserve negative seeds.
 func Derive(root int64, parts ...int64) int64 {
-	x := splitmix64(uint64(root))
+	x := sim.SplitMix64(uint64(root))
 	for _, p := range parts {
 		// Mix before folding the next part in, so the chain is ordered:
 		// Derive(r, a, b) ≠ Derive(r, b, a) and Derive(a, b) ≠ Derive(b, a).
-		x = splitmix64(x ^ uint64(p))
+		x = sim.SplitMix64(x ^ uint64(p))
 	}
 	return int64(x &^ (1 << 63))
 }

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"math"
+	"repro/internal/sim"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -69,7 +70,7 @@ func TestMapBoundsConcurrency(t *testing.T) {
 		}
 		mu.Unlock()
 		for i := 0; i < 1000; i++ {
-			_ = splitmix64(uint64(i))
+			_ = sim.SplitMix64(uint64(i))
 		}
 		cur.Add(-1)
 	})
