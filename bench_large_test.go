@@ -18,14 +18,21 @@ import (
 // BenchmarkRuntime100k is the extreme-scale throughput record: one simulated
 // time unit on a 100 000-node ring with chord churn-waves running. Its
 // events/sec is the headline the nightly bench JSON archives next to
-// BenchmarkRuntime10k. The par=1/par=max pair records the sharded-tick
-// speedup at the scale where per-tick node work dominates; outputs are
-// byte-identical across the pair, only wall-clock differs.
+// BenchmarkRuntime10k. The subbenches pair the serial baseline against the
+// full fan-out (tick + event shards at NumCPU) at the scale where per-tick
+// node work dominates, with the tick-only middle rung separating the two
+// speedups; outputs are byte-identical across all three, only wall-clock
+// differs.
 func BenchmarkRuntime100k(b *testing.B) {
 	for _, v := range []struct {
 		name    string
 		tickPar int
-	}{{"par=1", 1}, {"par=max", runtime.NumCPU()}} {
+		evPar   int
+	}{
+		{"par=1/evpar=1", 1, 1},
+		{"par=max/evpar=1", runtime.NumCPU(), 1},
+		{"par=max/evpar=max", runtime.NumCPU(), runtime.NumCPU()},
+	} {
 		b.Run(v.name, func(b *testing.B) {
 			const n = 100000
 			pairs := make([]scenario.Pair, 0, 64)
@@ -34,12 +41,13 @@ func BenchmarkRuntime100k(b *testing.B) {
 				pairs = append(pairs, scenario.Pair{u, u + n/2})
 			}
 			net := gradsync.MustNew(gradsync.Config{
-				Topology:        gradsync.RingTopology(n),
-				DiameterHint:    n / 2,
-				Drift:           gradsync.TwoGroupDrift(n / 2),
-				Scenario:        &scenario.ChurnWaves{WaveEvery: 4, BurstSize: 6, Spacing: 0.3, Pairs: pairs},
-				TickParallelism: v.tickPar,
-				Seed:            1,
+				Topology:         gradsync.RingTopology(n),
+				DiameterHint:     n / 2,
+				Drift:            gradsync.TwoGroupDrift(n / 2),
+				Scenario:         &scenario.ChurnWaves{WaveEvery: 4, BurstSize: 6, Spacing: 0.3, Pairs: pairs},
+				TickParallelism:  v.tickPar,
+				EventParallelism: v.evPar,
+				Seed:             1,
 			})
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

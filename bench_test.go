@@ -127,15 +127,22 @@ func BenchmarkE16ExtremeScaleQuick(b *testing.B) {
 // time unit on a 10 000-node ring with chord churn running (50 integration
 // ticks, 40k beacons, their deliveries, and the churn handshakes). The
 // ns/op trajectory of this benchmark is the substrate's headline number in
-// BENCH_sweep.json. The par=1/par=max pair records the sharded-tick speedup
-// (par=max uses NumCPU shards, the E15/E16 default; the name is
+// BENCH_sweep.json. The subbenches step through the two fan-out axes:
+// everything serial, tick shards only, then tick + event shards together —
+// so the record separates the sharded-tick speedup from the sharded-drain
+// speedup on top of it ("max" is NumCPU, the E15/E16 default; the name is
 // machine-independent so records diff across hosts, and the outputs are
-// byte-identical — only the wall-clock may differ).
+// byte-identical across all three — only the wall-clock may differ).
 func BenchmarkRuntime10k(b *testing.B) {
 	for _, v := range []struct {
 		name    string
 		tickPar int
-	}{{"par=1", 1}, {"par=max", runtime.NumCPU()}} {
+		evPar   int
+	}{
+		{"par=1/evpar=1", 1, 1},
+		{"par=max/evpar=1", runtime.NumCPU(), 1},
+		{"par=max/evpar=max", runtime.NumCPU(), runtime.NumCPU()},
+	} {
 		b.Run(v.name, func(b *testing.B) {
 			const n = 10000
 			pairs := make([]scenario.Pair, 0, 64)
@@ -144,12 +151,13 @@ func BenchmarkRuntime10k(b *testing.B) {
 				pairs = append(pairs, scenario.Pair{u, u + n/2})
 			}
 			net := gradsync.MustNew(gradsync.Config{
-				Topology:        gradsync.RingTopology(n),
-				DiameterHint:    n / 2,
-				Drift:           gradsync.TwoGroupDrift(n / 2),
-				Scenario:        &scenario.Churn{Every: 1.5, Pairs: pairs},
-				TickParallelism: v.tickPar,
-				Seed:            1,
+				Topology:         gradsync.RingTopology(n),
+				DiameterHint:     n / 2,
+				Drift:            gradsync.TwoGroupDrift(n / 2),
+				Scenario:         &scenario.Churn{Every: 1.5, Pairs: pairs},
+				TickParallelism:  v.tickPar,
+				EventParallelism: v.evPar,
+				Seed:             1,
 			})
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

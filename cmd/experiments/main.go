@@ -37,6 +37,7 @@ func run(args []string, stdout io.Writer) error {
 	seeds := fs.Int("seeds", 1, "independent replicas per experiment, aggregated as mean±std")
 	parallel := fs.Int("parallel", 0, "replica worker pool size (0 = GOMAXPROCS); does not affect results")
 	tickpar := fs.Int("tickpar", 0, "integration-tick shards for the scale tiers E15/E16 (0 = NumCPU); does not affect results")
+	evpar := fs.Int("evpar", 0, "event-drain shards for the scale tiers E15/E16 (0 = NumCPU); does not affect results")
 	only := fs.String("only", "", "comma-separated experiment ids (e.g. E03,E05)")
 	out := fs.String("out", "", "also write the report to this file")
 	if err := fs.Parse(args); err != nil {
@@ -67,7 +68,7 @@ func run(args []string, stdout io.Writer) error {
 		w = io.MultiWriter(stdout, f)
 	}
 
-	spec := experiments.Spec{Quick: *quick, Seed: *seed, Seeds: *seeds, Parallelism: *parallel, TickParallelism: *tickpar}
+	spec := experiments.Spec{Quick: *quick, Seed: *seed, Seeds: *seeds, Parallelism: *parallel, TickParallelism: *tickpar, EventParallelism: *evpar}
 	failed := 0
 	ran := 0
 	start := time.Now()

@@ -59,6 +59,7 @@ func run(args []string, w io.Writer) error {
 		parallel  = fs.Int("parallel", 0, "replica worker pool size (0 = GOMAXPROCS); does not affect results")
 		tick      = fs.Float64("tick", 0.02, "integration step")
 		tickpar   = fs.Int("tickpar", 1, "integration-tick worker shards (1 = serial; results identical for every value)")
+		evpar     = fs.Int("evpar", 1, "event-drain shards (1 = serial; results identical for every value)")
 		edgeOps   = fs.String("edges", "", "dynamic edge ops, e.g. add:0,15@100;cut:3,4@200")
 		csv       = fs.Bool("csv", false, "emit CSV instead of a table")
 	)
@@ -117,17 +118,18 @@ func run(args []string, w io.Writer) error {
 	runReplica := func(seed int64) *replica {
 		rep := &replica{}
 		net, err := gradsync.New(gradsync.Config{
-			Topology:        topology,
-			Algorithm:       algo,
-			Drift:           driftSpec,
-			Delay:           delaySpec,
-			Estimates:       estSpec,
-			Mu:              *mu,
-			Rho:             *rho,
-			GTilde:          *gtilde,
-			Tick:            *tick,
-			TickParallelism: *tickpar,
-			Seed:            seed,
+			Topology:         topology,
+			Algorithm:        algo,
+			Drift:            driftSpec,
+			Delay:            delaySpec,
+			Estimates:        estSpec,
+			Mu:               *mu,
+			Rho:              *rho,
+			GTilde:           *gtilde,
+			Tick:             *tick,
+			TickParallelism:  *tickpar,
+			EventParallelism: *evpar,
+			Seed:             seed,
 		})
 		if err != nil {
 			rep.err = err

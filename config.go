@@ -322,6 +322,15 @@ type Config struct {
 	// networks; below ~10³ nodes the fan-out barrier costs more than it
 	// saves. See DESIGN.md §Sharded integration tick.
 	TickParallelism int
+	// EventParallelism shards the discrete-event drain itself — beacon
+	// fires and beacon deliveries — across this many shards drained in
+	// parallel windows bounded by the minimum link transit time (the
+	// conservative PDES safe horizon). ≤ 1 keeps the serial drain. Results
+	// are byte-identical for every value — the knob trades wall-clock only
+	// — so it is safe to set to runtime.NumCPU() for large networks, and
+	// it composes with TickParallelism (the two fan out different phases).
+	// See DESIGN.md §Sharded event drain.
+	EventParallelism int
 	// Seed feeds all randomness; 0 is a valid fixed seed.
 	Seed int64
 	// InitialClocks optionally sets corrupted initial logical clocks.

@@ -58,15 +58,16 @@ func New(cfg Config) (*Network, error) {
 	}
 	n := cfg.Topology.n
 	rt, err := runner.New(runner.Config{
-		N:               n,
-		Tick:            cfg.Tick,
-		BeaconInterval:  cfg.BeaconInterval,
-		Drift:           cfg.Drift.build(cfg.Rho, n, sim.NewRNG(cfg.Seed^0x5eed)),
-		Delay:           cfg.Delay.build(),
-		Link:            cfg.Link.toTopo(),
-		Scenario:        cfg.Scenario,
-		TickParallelism: cfg.TickParallelism,
-		Seed:            cfg.Seed,
+		N:                n,
+		Tick:             cfg.Tick,
+		BeaconInterval:   cfg.BeaconInterval,
+		Drift:            cfg.Drift.build(cfg.Rho, n, sim.NewRNG(cfg.Seed^0x5eed)),
+		Delay:            cfg.Delay.build(),
+		Link:             cfg.Link.toTopo(),
+		Scenario:         cfg.Scenario,
+		TickParallelism:  cfg.TickParallelism,
+		EventParallelism: cfg.EventParallelism,
+		Seed:             cfg.Seed,
 	})
 	if err != nil {
 		return nil, err

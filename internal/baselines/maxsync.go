@@ -7,6 +7,8 @@
 package baselines
 
 import (
+	"sync/atomic"
+
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/transport"
@@ -61,7 +63,10 @@ func (m *MaxSync) OnBeacon(to, _ int, b transport.Beacon, d transport.Delivery) 
 	cand := b.L + (1-m.Rho)*credit
 	if cand > m.l[to] {
 		m.l[to] = cand
-		m.Jumps++
+		// Atomic: beacon deliveries to different receivers may run on
+		// concurrent event shards; a commutative sum keeps the count
+		// identical at every shard count.
+		atomic.AddUint64(&m.Jumps, 1)
 	}
 }
 

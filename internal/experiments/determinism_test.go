@@ -123,6 +123,42 @@ func TestScaleTierDeterministicAcrossTickParallelism(t *testing.T) {
 	}
 }
 
+// TestScaleTierDeterministicAcrossEventParallelism is the same net for the
+// sharded event drain: the scale tiers must emit byte-identical reports
+// whether beacon fires and deliveries drain serially or across 2 or 8
+// window shards. A shard-count-dependent delay draw, a fold-order-dependent
+// counter, or a window that leaks past the safe horizon shows up as a diff
+// here. (E15/E16 default EventParallelism to NumCPU, so this also pins the
+// production configuration against the serial engine.)
+func TestScaleTierDeterministicAcrossEventParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tier replays take a few seconds")
+	}
+	for _, entry := range All() {
+		switch entry.ID {
+		case "E15", "E16":
+		default:
+			continue
+		}
+		entry := entry
+		t.Run(entry.ID, func(t *testing.T) {
+			t.Parallel()
+			spec := Spec{Quick: true, Seed: 1, Seeds: 2, Parallelism: 2}
+
+			spec.EventParallelism = 1
+			serial := RunReplicated(entry.Run, spec).String()
+
+			for _, shards := range []int{2, 8} {
+				spec.EventParallelism = shards
+				if sharded := RunReplicated(entry.Run, spec).String(); sharded != serial {
+					t.Errorf("%s: EventParallelism=%d output differs from EventParallelism=1:\n--- serial ---\n%s\n--- sharded ---\n%s",
+						entry.ID, shards, serial, sharded)
+				}
+			}
+		})
+	}
+}
+
 // TestReplicatedAllExperimentsMultiSeed runs the whole suite across two
 // derived adversary draws: the shape claims are worst-case statements and
 // must hold for every seed the sweep engine can hand a replica.

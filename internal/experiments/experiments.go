@@ -35,12 +35,26 @@ type Spec struct {
 	// only, never results — the sharded tick is byte-identical for every
 	// shard count.
 	TickParallelism int
+	// EventParallelism shards the discrete-event drain of the scale-tier
+	// networks (E15, E16); 0 picks runtime.NumCPU(), so the tiers default
+	// to the sharded drain. Like the other knobs it affects wall-clock
+	// only, never results — the sharded drain is byte-identical for every
+	// shard count.
+	EventParallelism int
 }
 
 // TickShards resolves the effective tick parallelism for the scale tiers.
 func (s Spec) TickShards() int {
 	if s.TickParallelism > 0 {
 		return s.TickParallelism
+	}
+	return runtime.NumCPU()
+}
+
+// EventShards resolves the effective event parallelism for the scale tiers.
+func (s Spec) EventShards() int {
+	if s.EventParallelism > 0 {
+		return s.EventParallelism
 	}
 	return runtime.NumCPU()
 }

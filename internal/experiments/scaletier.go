@@ -54,12 +54,13 @@ func runScaleTier(r *Result, spec Spec, tierID int64, tierTitle string, horizon 
 			DiameterHint: diam,
 			Drift:        gradsync.TwoGroupDrift(c.n / 2),
 			Scenario:     sc,
-			// The scale tiers run the sharded tick by default (NumCPU):
-			// they exist to prove the substrate carries these N, and the
-			// sharded tick is byte-identical for every shard count, so the
-			// reports stay machine-independent.
-			TickParallelism: spec.TickShards(),
-			Seed:            spec.SeedFor(tierID, int64(ci)),
+			// The scale tiers run the sharded tick and the sharded event
+			// drain by default (NumCPU): they exist to prove the substrate
+			// carries these N, and both fan-outs are byte-identical for
+			// every shard count, so the reports stay machine-independent.
+			TickParallelism:  spec.TickShards(),
+			EventParallelism: spec.EventShards(),
+			Seed:             spec.SeedFor(tierID, int64(ci)),
 		})
 
 		maxGlobal := 0.0

@@ -7,6 +7,7 @@ package runner
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/drift"
 	"repro/internal/estimate"
@@ -77,6 +78,16 @@ type Config struct {
 	// into the concurrency contract (drift.ConcurrentSchedule,
 	// estimate.ConcurrentLayer).
 	TickParallelism int
+	// EventParallelism shards the discrete-event drain itself: beacon-wheel
+	// fires (keyed by sending node) and beacon deliveries (keyed by
+	// receiver) move off the engine's global heap into per-shard queues
+	// drained in parallel windows bounded by the minimum link transit time
+	// Delay−Uncertainty — the conservative PDES safe horizon. Values ≤ 1
+	// keep the serial drain. Results are byte-identical for every value
+	// (see DESIGN.md, "Sharded event drain"); the knob trades wall-clock
+	// only. Global events — ticks, topology transitions, handshake timers,
+	// control deliveries — always stay serial.
+	EventParallelism int
 	// Seed feeds all randomness.
 	Seed int64
 }
@@ -109,7 +120,6 @@ type Runtime struct {
 	algo      Algorithm
 	messaging *estimate.Messaging // non-nil when the estimate layer is message-based
 	started   bool
-	scratch   []int
 	dH        []float64
 
 	// pool is the sharded-tick worker team (nil when TickParallelism ≤ 1).
@@ -121,11 +131,11 @@ type Runtime struct {
 	tickDt  float64
 	driftFn func(shard, lo, hi int)
 
-	// wheel is the beacon wheel: one reusable timer walks the nodes in
-	// staggered order, replacing the N per-node tickers of the old runtime
-	// (at N=10⁴ those tickers alone dominated setup and queue depth).
-	wheel     *sim.Timer
-	wheelSlot uint64
+	// wheel is the beacon wheel: a sharded event source that walks the
+	// nodes in staggered order (replacing first the N per-node tickers,
+	// then the single wheel timer of earlier runtimes), so beacon fires
+	// parallelize with the rest of the sharded event drain.
+	wheel *wheelSource
 }
 
 // New builds a runtime. The estimate layer and algorithm are attached
@@ -141,8 +151,13 @@ func New(cfg Config) (*Runtime, error) {
 		cfg.Link = topo.DefaultLinkParams()
 	}
 	engine := sim.NewEngine()
+	engine.SetEventParallelism(cfg.EventParallelism)
 	rng := sim.NewRNG(cfg.Seed)
 	dyn := topo.NewDynamic(cfg.N, engine, rng.Split())
+	// The sharded drain windows on the minimum link transit time — the
+	// classic conservative-PDES lookahead: no beacon can cross a link in
+	// less, so events within a window cannot affect each other's shards.
+	engine.SetLookahead(dyn.MinTransit)
 	net := transport.NewNetwork(engine, dyn, rng.Split(), cfg.Delay)
 	rt := &Runtime{
 		Engine:   engine,
@@ -244,23 +259,76 @@ func (rt *Runtime) Start() error {
 	rt.Engine.NewTicker(rt.cfg.Tick, rt.cfg.Tick, rt.step)
 	// Beacon wheel: slot k fires at BeaconInterval·k/N and beacons node
 	// k mod N, giving every node the period BeaconInterval at the same
-	// staggered offsets (u/N · interval) the per-node tickers used — but
-	// from a single pooled event rescheduled in place.
-	rt.wheel = rt.Engine.NewTimer(rt.wheelFire)
-	rt.wheel.Reset(0)
+	// staggered offsets (u/N · interval) the per-node tickers used. It
+	// registers after the transport (which NewNetwork registered), so at
+	// equal times a node receives its due beacons before it sends.
+	rt.wheel = newWheelSource(rt)
+	rt.Engine.AddSource(rt.wheel)
 	return nil
 }
 
-// wheelFire beacons the current slot's node and re-arms the wheel for the
-// next slot. Slot times are computed absolutely (not accumulated), so the
-// stagger stays exact over arbitrarily long runs.
-func (rt *Runtime) wheelFire(sim.Time) {
-	u := int(rt.wheelSlot % uint64(rt.cfg.N))
-	rt.sendBeacons(u)
-	rt.wheelSlot++
-	next := rt.cfg.BeaconInterval * float64(rt.wheelSlot) / float64(rt.cfg.N)
-	rt.wheel.Reset(next)
+// wheelSource is the beacon wheel as a sharded event source. Shard s owns
+// the wheel slots of the nodes u ≡ s (mod K) — the same keying as beacon
+// deliveries (receiver mod K) — so during a parallel window a node's sends
+// read its logical clock and max estimate on the shard that also owns every
+// write to them. Slot times are computed absolutely (not accumulated) from
+// the slot index, so the stagger stays exact over arbitrarily long runs and
+// is bit-identical at every shard count.
+type wheelSource struct {
+	rt       *Runtime
+	n, k     int
+	interval float64
+	sh       []wheelShard
 }
+
+// wheelShard is one shard's wheel cursor: the owned node sequence is
+// u = shard + idx·K, and cycle counts completed walks of the whole wheel.
+type wheelShard struct {
+	cycle   uint64
+	idx     int32
+	scratch []int
+	_       [4]uint64 // pad: cursors advance concurrently during windows
+}
+
+func newWheelSource(rt *Runtime) *wheelSource {
+	k := rt.Engine.EventShards()
+	return &wheelSource{
+		rt:       rt,
+		n:        rt.cfg.N,
+		k:        k,
+		interval: rt.cfg.BeaconInterval,
+		sh:       make([]wheelShard, k),
+	}
+}
+
+// Peek implements sim.Source: the shard's next owned slot time.
+func (w *wheelSource) Peek(shard int) sim.Time {
+	if shard >= w.n {
+		return math.Inf(1) // more shards than nodes: trailing shards idle
+	}
+	ws := &w.sh[shard]
+	u := shard + int(ws.idx)*w.k
+	slot := ws.cycle*uint64(w.n) + uint64(u)
+	return w.interval * float64(slot) / float64(w.n)
+}
+
+// FireNext implements sim.Source: beacon the cursor's node and advance.
+func (w *wheelSource) FireNext(shard int, now sim.Time) {
+	ws := &w.sh[shard]
+	u := shard + int(ws.idx)*w.k
+	b := transport.Beacon{L: w.rt.algo.Logical(u), M: w.rt.algo.MaxEstimate(u)}
+	ws.scratch = w.rt.Net.BroadcastBeaconAt(u, b, ws.scratch, now)
+	if u+w.k < w.n {
+		ws.idx++
+	} else {
+		ws.idx = 0
+		ws.cycle++
+	}
+}
+
+// Flush implements sim.Source: the wheel stages nothing cross-shard (its
+// sends stage through the transport's own mailboxes).
+func (w *wheelSource) Flush(int) {}
 
 // Run advances the simulation to the given time.
 func (rt *Runtime) Run(until sim.Time) { rt.Engine.RunUntil(until) }
@@ -339,11 +407,6 @@ func (rt *Runtime) ParallelTick(n int, fn func(shard, lo, hi int)) {
 func (rt *Runtime) estConcurrent() bool {
 	c, ok := rt.Est.(estimate.ConcurrentLayer)
 	return ok && c.ConcurrentQueries()
-}
-
-func (rt *Runtime) sendBeacons(u int) {
-	b := transport.Beacon{L: rt.algo.Logical(u), M: rt.algo.MaxEstimate(u)}
-	rt.scratch = rt.Net.BroadcastBeacon(u, b, rt.scratch)
 }
 
 // listener forwards topology transitions to the estimate layer and algorithm.

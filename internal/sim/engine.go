@@ -10,11 +10,21 @@
 // performs zero heap allocations. Callers hold Handles — generation-tagged
 // indices — instead of pointers, which makes cancelling a fired or recycled
 // event a safe no-op.
+//
+// On top of the global queue the engine supports a sharded event drain
+// (conservative parallel PDES): external shard-partitioned event streams
+// register as Sources and are drained in parallel windows bounded by a
+// caller-provided lookahead — the minimum link transit time Delay−Uncertainty
+// in the reproduced model. See DESIGN.md ("Sharded event drain") for the
+// shard keying, the safe-horizon bound and the determinism argument.
 package sim
 
 import (
 	"fmt"
 	"math"
+	"testing"
+
+	"repro/internal/par"
 )
 
 // Time is a point in simulated continuous time, in abstract time units.
@@ -45,7 +55,46 @@ type eventRec struct {
 	pos int32 // index in Engine.heap; -1 while free
 }
 
-// Engine owns the simulated clock and the event queue.
+// Source is an external, shard-partitioned event stream the engine drains
+// alongside its own queue. The high-volume event classes of the reproduced
+// system — beacon-wheel fires (sharded by sending node) and message
+// deliveries (sharded by receiver) — live in Sources rather than the global
+// heap, which is what the sharded event drain parallelizes.
+//
+// Contract:
+//   - Peek(shard) returns the time of the shard's earliest pending item, or
+//     +Inf when the shard is empty; it never moves backwards for a shard.
+//   - FireNext(shard, now) pops and executes that earliest item. During a
+//     parallel window it runs concurrently with other shards, so it must
+//     write only state owned by this shard (and read only window-stable
+//     state); work it creates for another shard must be staged in a
+//     mailbox, not applied directly.
+//   - Flush(shard) folds every mailbox addressed to this shard into the
+//     shard's queue. It runs after the window's FireNext barrier,
+//     concurrently across shards: shard s may read what other shards staged
+//     for s because no shard writes mailboxes during the flush phase.
+//
+// Determinism: at equal times the engine's own (global) events fire before
+// any source item, and items of the source registered first fire first.
+// Items of different shards inside one window execute in unspecified
+// relative order, so same-window items of different shards must commute —
+// in the reproduced system they do, because every per-node effect of a
+// delivery or beacon fire lands on state owned by that item's shard.
+type Source interface {
+	Peek(shard int) Time
+	FireNext(shard int, now Time)
+	Flush(shard int)
+}
+
+// shardCount is a per-shard event counter padded to its own cache line so
+// concurrent window drains never false-share.
+type shardCount struct {
+	n uint64
+	_ [7]uint64
+}
+
+// Engine owns the simulated clock, the global event queue and the sharded
+// drain of any registered Sources.
 //
 // The zero value is not usable; create engines with NewEngine.
 type Engine struct {
@@ -55,17 +104,98 @@ type Engine struct {
 	heap    []int32    // 4-ary min-heap of slots, ordered by (at, seq)
 	nextSeq uint64
 	stopped bool
-	// Stepped counts executed events, for diagnostics and tests.
+
+	// validate enables the debug-build checks (past-time scheduling panics
+	// instead of clamping). Defaults to true under `go test`.
+	validate bool
+
+	// Sharded drain state. shards is the window parallelism K (1 = serial);
+	// sources fire in registration order at equal times. lookahead returns
+	// the conservative window width (min link transit); reference forces the
+	// serially merged drain at any K, retained as the differential oracle.
+	shards       int
+	pool         *par.Pool
+	sources      []Source
+	lookahead    func() float64
+	reference    bool
+	inWindow     bool
+	winEnd       Time
+	winHorizon   Time
+	drainFn      func(shard, lo, hi int)
+	flushFn      func(shard, lo, hi int)
+	shardStepped []shardCount
+
+	// Stepped counts executed events — global events, source fires and
+	// deliveries alike — for diagnostics and tests.
 	Stepped uint64
 }
 
-// NewEngine returns an engine with the clock at time 0.
+// NewEngine returns an engine with the clock at time 0. Validation (see
+// SetValidate) starts enabled under `go test` and disabled otherwise.
 func NewEngine() *Engine {
-	return &Engine{}
+	e := &Engine{validate: testing.Testing(), shards: 1, shardStepped: make([]shardCount, 1)}
+	e.drainFn = e.drainShards
+	e.flushFn = e.flushShards
+	return e
 }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
+
+// SetValidate toggles the debug validation hook and returns the previous
+// setting. With validation on (the default under `go test`), scheduling in
+// the past panics; with it off, past times clamp to Now. Non-finite times
+// panic regardless.
+func (e *Engine) SetValidate(on bool) bool {
+	prev := e.validate
+	e.validate = on
+	return prev
+}
+
+// SetEventParallelism sets the number of shards K the sharded drain fans
+// Sources across. Values ≤ 1 keep the serial drain. Must be called before
+// AddSource — sources size their shard state from EventShards. Results are
+// byte-identical for every value; the knob trades wall-clock only.
+func (e *Engine) SetEventParallelism(k int) {
+	if len(e.sources) > 0 {
+		panic("sim: SetEventParallelism after AddSource")
+	}
+	if k < 1 {
+		k = 1
+	}
+	e.shards = k
+	e.shardStepped = make([]shardCount, k)
+	if k > 1 {
+		e.pool = par.New(k)
+	} else {
+		e.pool = nil
+	}
+}
+
+// EventShards returns the sharded-drain parallelism K (≥ 1).
+func (e *Engine) EventShards() int { return e.shards }
+
+// SetReferenceDrain forces the serially merged source drain at any K — the
+// retained reference implementation the differential tests compare the
+// windowed drain against (the same role SetReferenceTriggers plays for the
+// single-pass trigger engine).
+func (e *Engine) SetReferenceDrain(on bool) { e.reference = on }
+
+// SetLookahead installs the conservative window bound: f returns the
+// minimum time any source item fired now can take to affect another shard
+// (the model's minimum link transit, Delay−Uncertainty). +Inf is sound when
+// no interaction is possible; values ≤ 0 disable windowing (the drain
+// degrades to serial steps).
+func (e *Engine) SetLookahead(f func() float64) { e.lookahead = f }
+
+// AddSource registers a source. Registration order is the priority at equal
+// item times: earlier sources fire first.
+func (e *Engine) AddSource(s Source) { e.sources = append(e.sources, s) }
+
+// InWindow reports whether a parallel window drain is in flight. Sources
+// use it to route cross-shard effects to mailboxes; mutating the global
+// queue while it returns true is a contract violation and panics.
+func (e *Engine) InWindow() bool { return e.inWindow }
 
 // alloc takes a record slot from the free list, growing the slab only when
 // the pool is dry (steady state never grows).
@@ -103,17 +233,32 @@ func (e *Engine) lookup(h Handle) (int32, bool) {
 	return slot, true
 }
 
-// Schedule registers fn to run at absolute time at. Scheduling in the past
-// (before Now) is an error in the caller; the engine clamps it to Now so the
-// event still fires, but panics in debug builds of tests via Validate.
+// checkTime rejects non-finite event times. NaN breaks heap ordering; ±Inf
+// wedges PeekNext and would poison the sharded drain's window frontier
+// while never firing.
+func checkTime(op string, at Time) {
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		panic(fmt.Sprintf("sim: %s called with non-finite time %v", op, at))
+	}
+}
+
+// Schedule registers fn to run at absolute time at. Non-finite times (NaN
+// or ±Inf) always panic. Scheduling in the past (before Now) is an error in
+// the caller: with validation on (the default under `go test`, see
+// SetValidate) it panics; with validation off the engine clamps it to Now
+// so the event still fires.
 func (e *Engine) Schedule(at Time, fn func(t Time)) Handle {
 	if fn == nil {
 		panic("sim: Schedule called with nil function")
 	}
-	if math.IsNaN(at) {
-		panic("sim: Schedule called with NaN time")
+	if e.inWindow {
+		panic("sim: Schedule during a parallel window (source events must not mutate the global queue)")
 	}
+	checkTime("Schedule", at)
 	if at < e.now {
+		if e.validate {
+			panic(fmt.Sprintf("sim: Schedule at %v is in the past (Now is %v)", at, e.now))
+		}
 		at = e.now
 	}
 	slot := e.alloc()
@@ -140,6 +285,9 @@ func (e *Engine) Cancel(h Handle) {
 	if !ok {
 		return
 	}
+	if e.inWindow {
+		panic("sim: Cancel during a parallel window (source events must not mutate the global queue)")
+	}
 	e.removeAt(int(e.recs[slot].pos))
 	e.release(slot)
 }
@@ -153,16 +301,22 @@ func (e *Engine) Active(h Handle) bool {
 
 // reschedule moves a pending event to a new time in place — the record and
 // its heap slot are reused — or schedules fn fresh when the handle is stale.
-// Either way the event counts as newly scheduled for FIFO tie-breaking.
+// Either way the event counts as newly scheduled for FIFO tie-breaking, and
+// the time checks match Schedule's (non-finite panics; past panics under
+// validation, clamps otherwise).
 func (e *Engine) reschedule(h Handle, at Time, fn func(t Time)) Handle {
 	slot, ok := e.lookup(h)
 	if !ok {
 		return e.Schedule(at, fn)
 	}
-	if math.IsNaN(at) {
-		panic("sim: reschedule to NaN time")
+	if e.inWindow {
+		panic("sim: reschedule during a parallel window (source events must not mutate the global queue)")
 	}
+	checkTime("reschedule", at)
 	if at < e.now {
+		if e.validate {
+			panic(fmt.Sprintf("sim: reschedule to %v is in the past (Now is %v)", at, e.now))
+		}
 		at = e.now
 	}
 	r := &e.recs[slot]
@@ -180,36 +334,187 @@ func (e *Engine) reschedule(h Handle, at Time, fn func(t Time)) Handle {
 // Stop makes the current Run call return after the in-flight event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
-// RunUntil executes events in time order until the queue is empty or the next
-// event is strictly after horizon. The clock ends at horizon (or at the time
-// Run was stopped).
+// RunUntil executes events in time order until all queues (the global heap
+// and every registered Source) are drained past horizon. The clock ends at
+// horizon (or at the time Run was stopped).
+//
+// With Sources registered the drain interleaves three step kinds, always in
+// global (time, priority) order: global events fire serially and win ties;
+// source items fire serially when K = 1 (or under SetReferenceDrain); and
+// with K ≥ 2 source items drain in parallel windows [tmin, wEnd) with
+// wEnd = min(next global event, tmin + lookahead), after which every
+// source's cross-shard mailboxes are folded at the window barrier.
 func (e *Engine) RunUntil(horizon Time) {
 	e.stopped = false
-	for len(e.heap) > 0 && !e.stopped {
-		slot := e.heap[0]
-		r := &e.recs[slot]
-		if r.at > horizon {
+	if len(e.sources) == 0 {
+		e.drainGlobal(horizon)
+		return
+	}
+	for !e.stopped {
+		gAt := math.Inf(1)
+		if len(e.heap) > 0 {
+			gAt = e.recs[e.heap[0]].at
+		}
+		srcMin, src, shard := e.peekSources()
+		if gAt > horizon && srcMin > horizon {
 			break
 		}
-		at, fn := r.at, r.fn
-		e.removeAt(0)
-		// Release before firing so fn's own scheduling reuses the record.
-		e.release(slot)
-		if at > e.now {
-			e.now = at
+		// Global events are the scheduling frontier — only they can mutate
+		// the global queue or the topology — so they run serially, win ties,
+		// and bound every window.
+		if gAt <= srcMin {
+			e.fireGlobal()
+			continue
 		}
-		e.Stepped++
-		fn(e.now)
+		if e.pool == nil || e.reference {
+			e.fireSource(src, shard, srcMin)
+			continue
+		}
+		la := math.Inf(1)
+		if e.lookahead != nil {
+			la = e.lookahead()
+		}
+		wEnd := srcMin + la
+		if wEnd > gAt {
+			wEnd = gAt
+		}
+		if !(wEnd > srcMin) {
+			// Degenerate lookahead (≤ 0): no window opens; take one serial
+			// step so the drain still makes progress.
+			e.fireSource(src, shard, srcMin)
+			continue
+		}
+		e.runWindow(srcMin, wEnd, horizon)
 	}
 	if !e.stopped && e.now < horizon {
 		e.now = horizon
 	}
 }
 
-// Pending returns the number of events currently queued.
+// drainGlobal is the source-free drain — the engine's historical serial
+// loop, kept on its own path so global-only workloads pay nothing for the
+// sharded machinery.
+func (e *Engine) drainGlobal(horizon Time) {
+	for len(e.heap) > 0 && !e.stopped {
+		if e.recs[e.heap[0]].at > horizon {
+			break
+		}
+		e.fireGlobal()
+	}
+	if !e.stopped && e.now < horizon {
+		e.now = horizon
+	}
+}
+
+// fireGlobal pops and executes the earliest global event.
+func (e *Engine) fireGlobal() {
+	slot := e.heap[0]
+	r := &e.recs[slot]
+	at, fn := r.at, r.fn
+	e.removeAt(0)
+	// Release before firing so fn's own scheduling reuses the record.
+	e.release(slot)
+	if at > e.now {
+		e.now = at
+	}
+	e.Stepped++
+	fn(e.now)
+}
+
+// peekSources returns the earliest pending source item over all shards,
+// ties broken by registration order then shard index.
+func (e *Engine) peekSources() (Time, Source, int) {
+	best := math.Inf(1)
+	var bs Source
+	bsh := 0
+	for _, s := range e.sources {
+		for sh := 0; sh < e.shards; sh++ {
+			if t := s.Peek(sh); t < best {
+				best, bs, bsh = t, s, sh
+			}
+		}
+	}
+	return best, bs, bsh
+}
+
+// fireSource executes one source item serially (K = 1, reference mode, or a
+// degenerate window).
+func (e *Engine) fireSource(s Source, shard int, at Time) {
+	if at > e.now {
+		e.now = at
+	}
+	e.Stepped++
+	s.FireNext(shard, at)
+}
+
+// runWindow drains every source item in [tmin, wEnd) across all shards in
+// parallel, then folds cross-shard mailboxes at the barrier. Two pool
+// fan-outs: the drain phase (shards fire their own items, staging remote
+// effects) and the flush phase (shards fold the mailboxes addressed to
+// them). The window never reaches wEnd, so items a flush materializes —
+// which land at ≥ tmin + lookahead ≥ wEnd by the Source contract — can
+// never have been missed by the window they were created in.
+func (e *Engine) runWindow(tmin, wEnd, horizon Time) {
+	if tmin > e.now {
+		e.now = tmin
+	}
+	e.winEnd, e.winHorizon = wEnd, horizon
+	e.inWindow = true
+	e.pool.Run(e.shards, e.drainFn)
+	e.pool.Run(e.shards, e.flushFn)
+	e.inWindow = false
+	for i := range e.shardStepped {
+		e.Stepped += e.shardStepped[i].n
+		e.shardStepped[i].n = 0
+	}
+	if wEnd > horizon {
+		wEnd = horizon
+	}
+	if wEnd > e.now {
+		e.now = wEnd
+	}
+}
+
+// drainShards fires, per shard, every source item strictly before the
+// window end (and not beyond the run horizon), merging the shard's sources
+// by (time, registration order).
+func (e *Engine) drainShards(_, lo, hi int) {
+	wEnd, horizon := e.winEnd, e.winHorizon
+	for sh := lo; sh < hi; sh++ {
+		fired := uint64(0)
+		for {
+			best := math.Inf(1)
+			var bs Source
+			for _, s := range e.sources {
+				if t := s.Peek(sh); t < best {
+					best, bs = t, s
+				}
+			}
+			if bs == nil || best >= wEnd || best > horizon {
+				break
+			}
+			bs.FireNext(sh, best)
+			fired++
+		}
+		e.shardStepped[sh].n += fired
+	}
+}
+
+// flushShards folds cross-shard mailboxes after the drain barrier.
+func (e *Engine) flushShards(_, lo, hi int) {
+	for sh := lo; sh < hi; sh++ {
+		for _, s := range e.sources {
+			s.Flush(sh)
+		}
+	}
+}
+
+// Pending returns the number of events currently queued on the global heap
+// (source items are not included).
 func (e *Engine) Pending() int { return len(e.heap) }
 
-// PeekNext returns the time of the earliest pending event, or +Inf if none.
+// PeekNext returns the time of the earliest pending global event, or +Inf
+// if none.
 func (e *Engine) PeekNext() Time {
 	if len(e.heap) == 0 {
 		return math.Inf(1)
@@ -297,8 +602,8 @@ func (e *Engine) removeAt(i int) {
 // Timer is a reusable scheduled callback: the function is bound once and
 // Reset re-arms (or moves) the event without allocating, reusing the pooled
 // record and heap slot when the timer is still pending. Recurring machinery
-// — tickers, the runner's beacon wheel, the transport dispatch loop — runs
-// on Timers so steady-state operation schedules nothing new.
+// — tickers, scenario generators — runs on Timers so steady-state operation
+// schedules nothing new.
 type Timer struct {
 	engine *Engine
 	fn     func(t Time)
@@ -354,10 +659,16 @@ type Ticker struct {
 	stopped  bool
 }
 
-// NewTicker schedules a recurring tick. interval must be positive.
+// NewTicker schedules a recurring tick. interval must be positive. A start
+// before Now is clamped to Now, and the previous-tick anchor is re-anchored
+// to the clamped start, so the first tick reports dt == interval rather
+// than silently inflating dt by the amount the start was in the past.
 func (e *Engine) NewTicker(start Time, interval float64, fn func(t Time, dt float64)) *Ticker {
 	if interval <= 0 {
 		panic(fmt.Sprintf("sim: ticker interval must be positive, got %v", interval))
+	}
+	if start < e.now {
+		start = e.now
 	}
 	tk := &Ticker{interval: interval, fn: fn, last: start - interval}
 	tk.timer = e.NewTimer(tk.fire)

@@ -149,8 +149,39 @@ func TestTimerResetKeepsFIFOFreshness(t *testing.T) {
 	}
 }
 
-func TestEngineScheduleInsidePastClampsToNow(t *testing.T) {
+func TestEngineSchedulePastPanicsUnderValidate(t *testing.T) {
+	// Validation is on by default under `go test`: scheduling before Now is
+	// a caller bug and must be caught loudly, not silently clamped.
 	e := NewEngine()
+	var panicked any
+	e.Schedule(5, func(Time) {
+		defer func() { panicked = recover() }()
+		e.Schedule(1, func(Time) {})
+	})
+	e.RunUntil(10)
+	if panicked == nil {
+		t.Fatal("past-time Schedule did not panic with validation on")
+	}
+	// reschedule (Timer.Reset) applies the same check.
+	panicked = nil
+	tm := e.NewTimer(func(Time) {})
+	tm.Reset(20)
+	func() {
+		defer func() { panicked = recover() }()
+		tm.Reset(3)
+	}()
+	if panicked == nil {
+		t.Fatal("past-time reschedule did not panic with validation on")
+	}
+}
+
+func TestEngineScheduleInsidePastClampsToNow(t *testing.T) {
+	// With validation off (the release-build behavior) past times clamp to
+	// Now so the event still fires.
+	e := NewEngine()
+	if prev := e.SetValidate(false); !prev {
+		t.Fatal("validation should default to on under go test")
+	}
 	var firedAt Time = -1
 	e.Schedule(5, func(now Time) {
 		e.Schedule(1, func(now2 Time) { firedAt = now2 })
@@ -158,6 +189,36 @@ func TestEngineScheduleInsidePastClampsToNow(t *testing.T) {
 	e.RunUntil(10)
 	if firedAt != 5 {
 		t.Fatalf("past-scheduled event fired at %v, want clamp to 5", firedAt)
+	}
+}
+
+func TestEngineRejectsNonFiniteTimes(t *testing.T) {
+	// NaN and ±Inf must panic in every build: an +Inf event would wedge
+	// PeekNext (and the sharded drain's window frontier) while never firing.
+	e := NewEngine()
+	e.SetValidate(false) // non-finite rejection is not gated on validation
+	for _, at := range []Time{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Schedule(%v) did not panic", at)
+				}
+			}()
+			e.Schedule(at, func(Time) {})
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Reset(%v) did not panic", at)
+				}
+			}()
+			tm := e.NewTimer(func(Time) {})
+			tm.Reset(1)
+			tm.Reset(at)
+		}()
+	}
+	if got := e.PeekNext(); math.IsInf(got, 1) && e.Pending() > 0 {
+		t.Fatalf("pending queue wedged at +Inf: PeekNext = %v", got)
 	}
 }
 
@@ -230,6 +291,93 @@ func TestTickerStop(t *testing.T) {
 	e.RunUntil(100)
 	if count != 3 {
 		t.Fatalf("ticks = %d, want 3", count)
+	}
+}
+
+func TestTickerPastStartReAnchorsDt(t *testing.T) {
+	// A ticker whose start lies in the past is clamped to Now — and the
+	// previous-tick anchor must be re-anchored with it, so the first tick
+	// reports dt == interval instead of interval + (Now − start).
+	e := NewEngine()
+	e.RunUntil(5)
+	var times []Time
+	var dts []float64
+	e.NewTicker(1, 2, func(now Time, dt float64) {
+		times = append(times, now)
+		dts = append(dts, dt)
+	})
+	e.RunUntil(9)
+	wantTimes := []Time{5, 7, 9}
+	if len(times) != len(wantTimes) {
+		t.Fatalf("ticks at %v, want %v", times, wantTimes)
+	}
+	for i := range wantTimes {
+		if times[i] != wantTimes[i] {
+			t.Fatalf("ticks at %v, want %v", times, wantTimes)
+		}
+		if dts[i] != 2 {
+			t.Fatalf("tick %d dt = %v, want the interval 2 (clamp must re-anchor last)", i, dts[i])
+		}
+	}
+}
+
+func TestTimerResetInsideOwnFire(t *testing.T) {
+	// Re-arming a timer from inside its own fire callback: the handle was
+	// zeroed before fn ran, so Reset must schedule fresh, not resurrect the
+	// just-fired record.
+	e := NewEngine()
+	var fires []Time
+	var tm *Timer
+	tm = e.NewTimer(func(now Time) {
+		fires = append(fires, now)
+		if len(fires) < 3 {
+			tm.Reset(now + 1)
+		}
+	})
+	tm.Reset(1)
+	e.RunUntil(10)
+	want := []Time{1, 2, 3}
+	if len(fires) != len(want) {
+		t.Fatalf("fires = %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fires = %v, want %v", fires, want)
+		}
+	}
+	if tm.Pending() {
+		t.Fatal("timer still pending after its last fire declined to re-arm")
+	}
+}
+
+func TestZeroDurationAfterFIFO(t *testing.T) {
+	// After(0) from inside an event schedules at the current instant; the
+	// (at, seq) order must run those after the current event, in the order
+	// they were scheduled, before time advances past the instant.
+	e := NewEngine()
+	var order []string
+	e.Schedule(1, func(Time) {
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			e.After(0, func(now Time) {
+				if now != 1 {
+					t.Errorf("After(0) fired at %v, want 1", now)
+				}
+				order = append(order, name)
+			})
+		}
+		order = append(order, "outer")
+	})
+	e.Schedule(2, func(Time) { order = append(order, "later") })
+	e.RunUntil(3)
+	want := []string{"outer", "a", "b", "c", "later"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
 	}
 }
 

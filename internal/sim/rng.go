@@ -58,6 +58,43 @@ func SplitMix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// Stream is a compact SplitMix64 value stream: 8 bytes of state, advanced
+// by value. Arrays of Streams give each entity (node, link sender) its own
+// deterministic sequence whose draws depend only on the entity's identity
+// and draw count — never on the global interleaving of other entities'
+// draws — which is what lets the sharded event drain consume randomness
+// concurrently and still match the serial reference bit for bit. The same
+// idiom predates this type in the estimate layer's per-node error states.
+type Stream struct {
+	state uint64
+}
+
+// NewStream derives the idx-th well-separated stream from a base seed.
+// Streams derived from the same (base, idx) are identical across runs.
+func NewStream(base uint64, idx int) Stream {
+	return Stream{state: SplitMix64(base + uint64(idx)*SplitMixGamma)}
+}
+
+// Uint64 returns the stream's next uniform 64-bit value.
+func (s *Stream) Uint64() uint64 {
+	out := SplitMix64(s.state)
+	s.state += SplitMixGamma
+	return out
+}
+
+// Float64 returns the stream's next uniform value in [0, 1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Uniform returns the stream's next uniform value in [lo, hi).
+func (s *Stream) Uniform(lo, hi float64) float64 {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return lo + (hi-lo)*s.Float64()
+}
+
 // Exp returns an exponential sample with the given mean (Poisson event
 // gaps). A non-positive mean returns 0.
 func (g *RNG) Exp(mean float64) float64 {

@@ -1,0 +1,257 @@
+package sim
+
+// Differential test for the sharded event drain at the engine level: a toy
+// Source with self-propagating, cross-shard-spawning items is drained at
+// K = 1 (serial), K = 2 and K = 8 (windowed), and K = 8 in reference mode
+// (serially merged), interleaved with global events that snapshot progress
+// and inject new items. Every mode must agree bit for bit on the per-owner
+// fire traces, the global snapshots, the event count and the final clock.
+// Under `make race` the K = 8 runs are also the detector's workout for the
+// drain/flush barrier discipline.
+
+import (
+	"math"
+	"testing"
+)
+
+// toyItem is one pending source item, owned by a logical entity ("owner",
+// the analogue of a node); owners shard by owner mod K.
+type toyItem struct {
+	at    Time
+	owner int32
+	id    uint64
+}
+
+// toyShard is one shard's queue plus its outbox row (out[dst] stages items
+// spawned for shard dst during a window).
+type toyShard struct {
+	items []toyItem
+	out   [][]toyItem
+}
+
+// toySource mimics the transport's sharding contract: items fire in
+// (at, owner, id) order per shard; firing appends to the owner's trace and
+// may spawn a successor at ≥ now + lookahead for a derived owner, staged
+// via the outbox when the target shard differs inside a window. All spawn
+// decisions derive from the fired item's id alone, so behavior is a pure
+// function of content — independent of shard count and window layout.
+type toySource struct {
+	engine    *Engine
+	k, owners int
+	lookahead float64
+	sh        []toyShard
+	trace     [][]uint64 // per-owner fired ids; owner's shard writes only
+}
+
+func newToySource(e *Engine, owners int, lookahead float64) *toySource {
+	k := e.EventShards()
+	s := &toySource{engine: e, k: k, owners: owners, lookahead: lookahead}
+	s.sh = make([]toyShard, k)
+	for i := range s.sh {
+		s.sh[i].out = make([][]toyItem, k)
+	}
+	s.trace = make([][]uint64, owners)
+	e.AddSource(s)
+	return s
+}
+
+func (s *toySource) less(a, b toyItem) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.owner != b.owner {
+		return a.owner < b.owner
+	}
+	return a.id < b.id
+}
+
+// minIdx returns the index of the shard's earliest item (linear scan is
+// plenty at test sizes), or -1.
+func (s *toySource) minIdx(shard int) int {
+	sh := &s.sh[shard]
+	best := -1
+	for i := range sh.items {
+		if best < 0 || s.less(sh.items[i], sh.items[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+func (s *toySource) Peek(shard int) Time {
+	i := s.minIdx(shard)
+	if i < 0 {
+		return math.Inf(1)
+	}
+	return s.sh[shard].items[i].at
+}
+
+func (s *toySource) FireNext(shard int, now Time) {
+	sh := &s.sh[shard]
+	i := s.minIdx(shard)
+	it := sh.items[i]
+	sh.items[i] = sh.items[len(sh.items)-1]
+	sh.items = sh.items[:len(sh.items)-1]
+	s.trace[it.owner] = append(s.trace[it.owner], it.id)
+	r := SplitMix64(it.id)
+	if r%3 == 0 {
+		return // chain ends
+	}
+	frac := float64(r>>40) / (1 << 24)
+	next := toyItem{
+		// Strictly beyond the lookahead so a same-shard push during a
+		// window can never land inside the window that spawned it.
+		at:    now + s.lookahead*(1.0001+frac),
+		owner: int32((r >> 8) % uint64(s.owners)),
+		id:    r,
+	}
+	dst := int(next.owner) % s.k
+	if s.engine.InWindow() && dst != shard {
+		sh.out[dst] = append(sh.out[dst], next)
+		return
+	}
+	s.sh[dst].items = append(s.sh[dst].items, next)
+}
+
+func (s *toySource) Flush(shard int) {
+	dst := &s.sh[shard]
+	for g := range s.sh {
+		staged := s.sh[g].out[shard]
+		dst.items = append(dst.items, staged...)
+		s.sh[g].out[shard] = staged[:0]
+	}
+}
+
+// inject seeds an item from global context (the analogue of a test or
+// scenario sending a beacon directly).
+func (s *toySource) inject(it toyItem) {
+	s.sh[int(it.owner)%s.k].items = append(s.sh[int(it.owner)%s.k].items, it)
+}
+
+func (s *toySource) fired() int {
+	total := 0
+	for _, tr := range s.trace {
+		total += len(tr)
+	}
+	return total
+}
+
+// toyRun drains one full configuration and returns its observables.
+type toyOutcome struct {
+	traces    [][]uint64
+	snapshots []int // fired count at each global ticker event
+	stepped   uint64
+	now       Time
+}
+
+func toyRun(k int, reference bool) toyOutcome {
+	const (
+		owners    = 13
+		lookahead = 0.05
+		horizon   = 40.0
+	)
+	e := NewEngine()
+	e.SetEventParallelism(k)
+	e.SetReferenceDrain(reference)
+	e.SetLookahead(func() float64 { return lookahead })
+	src := newToySource(e, owners, lookahead)
+	for i := 0; i < 60; i++ {
+		id := SplitMix64(uint64(i) * 977)
+		src.inject(toyItem{
+			at:    float64(i%29) * 0.37,
+			owner: int32((id >> 16) % owners),
+			id:    id,
+		})
+	}
+	var out toyOutcome
+	tick := 0
+	e.NewTicker(0.7, 0.7, func(t Time, _ float64) {
+		// Windows never cross a global event, so this snapshot — and the
+		// injection below — sees the same drained prefix in every mode.
+		out.snapshots = append(out.snapshots, src.fired())
+		tick++
+		if tick%5 == 0 {
+			id := SplitMix64(uint64(tick) * 131071)
+			src.inject(toyItem{at: t + 0.01, owner: int32((id >> 24) % owners), id: id})
+		}
+	})
+	// Chunked horizons exercise window truncation at run boundaries.
+	for _, h := range []Time{9.5, 10.0, 27.3, horizon} {
+		e.RunUntil(h)
+	}
+	out.traces = src.trace
+	out.stepped = e.Stepped
+	out.now = e.Now()
+	return out
+}
+
+func (a toyOutcome) diff(t *testing.T, b toyOutcome, mode string) {
+	t.Helper()
+	if a.stepped != b.stepped {
+		t.Errorf("%s: stepped %d, want %d", mode, b.stepped, a.stepped)
+	}
+	if a.now != b.now {
+		t.Errorf("%s: final now %v, want %v", mode, b.now, a.now)
+	}
+	if len(a.snapshots) != len(b.snapshots) {
+		t.Fatalf("%s: %d snapshots, want %d", mode, len(b.snapshots), len(a.snapshots))
+	}
+	for i := range a.snapshots {
+		if a.snapshots[i] != b.snapshots[i] {
+			t.Fatalf("%s: snapshot %d = %d, want %d", mode, i, b.snapshots[i], a.snapshots[i])
+		}
+	}
+	for o := range a.traces {
+		if len(a.traces[o]) != len(b.traces[o]) {
+			t.Fatalf("%s: owner %d fired %d items, want %d", mode, o, len(b.traces[o]), len(a.traces[o]))
+		}
+		for i := range a.traces[o] {
+			if a.traces[o][i] != b.traces[o][i] {
+				t.Fatalf("%s: owner %d item %d = %x, want %x", mode, o, i, b.traces[o][i], a.traces[o][i])
+			}
+		}
+	}
+}
+
+// TestWindowedDrainDifferential is the engine-level analogue of the
+// queue_test reference model, for the sharded drain: serial, windowed and
+// reference-merged runs of the same item population must be bit-identical.
+func TestWindowedDrainDifferential(t *testing.T) {
+	serial := toyRun(1, false)
+	if len(serial.snapshots) == 0 || serial.stepped == 0 {
+		t.Fatal("toy run executed nothing; test harness broken")
+	}
+	serial.diff(t, toyRun(2, false), "K=2 windowed")
+	serial.diff(t, toyRun(8, false), "K=8 windowed")
+	serial.diff(t, toyRun(8, true), "K=8 reference")
+}
+
+// TestWindowRespectsGlobalFrontier pins the ordering contract directly: a
+// global event at time g observes every source item with time < g as fired
+// and none at ≥ g, for every shard count.
+func TestWindowRespectsGlobalFrontier(t *testing.T) {
+	for _, k := range []int{1, 4} {
+		e := NewEngine()
+		e.SetEventParallelism(k)
+		e.SetLookahead(func() float64 { return 10 })
+		src := newToySource(e, 4, 10)
+		// Ids chosen so no chains spawn (SplitMix64(id)%3 == 0 is not
+		// guaranteed, so give items far-future spawn room instead: the
+		// lookahead of 10 pushes any successor past the horizon).
+		src.inject(toyItem{at: 1, owner: 0, id: 1})
+		src.inject(toyItem{at: 2, owner: 1, id: 2})
+		src.inject(toyItem{at: 2, owner: 2, id: 3})
+		src.inject(toyItem{at: 3, owner: 3, id: 4})
+		var at2 int
+		e.Schedule(2, func(Time) { at2 = src.fired() })
+		e.RunUntil(5)
+		// The item strictly before 2 must be in; the two at exactly 2 fire
+		// after the global event; the one at 3 later still.
+		if at2 != 1 {
+			t.Errorf("K=%d: global event at t=2 saw %d fired items, want 1 (globals win ties)", k, at2)
+		}
+		if got := src.fired(); got != 4 {
+			t.Errorf("K=%d: %d items fired by horizon, want 4", k, got)
+		}
+	}
+}

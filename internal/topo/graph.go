@@ -101,6 +101,12 @@ type Dynamic struct {
 	listener Listener
 	edges    map[EdgeID]*edge
 	adj      []map[int]*edge
+	// minTransit is the minimum Delay−Uncertainty over every link ever
+	// declared — the conservative lookahead the sharded event drain windows
+	// on. It only ratchets down (a re-declare that raises a link's transit
+	// does not raise the bound), which keeps it sound without rescanning:
+	// the true minimum over declared links can never be below it.
+	minTransit float64
 }
 
 // NewDynamic creates a graph over n nodes with no edges. The listener may be
@@ -111,13 +117,20 @@ func NewDynamic(n int, engine *sim.Engine, rng *sim.RNG) *Dynamic {
 		adj[i] = make(map[int]*edge)
 	}
 	return &Dynamic{
-		n:      n,
-		engine: engine,
-		rng:    rng,
-		edges:  make(map[EdgeID]*edge),
-		adj:    adj,
+		n:          n,
+		engine:     engine,
+		rng:        rng,
+		edges:      make(map[EdgeID]*edge),
+		adj:        adj,
+		minTransit: math.Inf(1),
 	}
 }
+
+// MinTransit returns the minimum Delay−Uncertainty over all links ever
+// declared, or +Inf when none exist. Monotone non-increasing over a run, so
+// it is always a sound (if conservative) window bound for the sharded event
+// drain: no message can cross a link faster.
+func (d *Dynamic) MinTransit() float64 { return d.minTransit }
 
 // SetListener installs the visibility-transition listener.
 func (d *Dynamic) SetListener(l Listener) { d.listener = l }
@@ -139,6 +152,9 @@ func (d *Dynamic) DeclareLink(a, b int, p LinkParams) error {
 		return err
 	}
 	id := MakeEdgeID(a, b)
+	if mt := p.Delay - p.Uncertainty; mt < d.minTransit {
+		d.minTransit = mt
+	}
 	if ex, ok := d.edges[id]; ok {
 		ex.params = p
 		return nil

@@ -6,6 +6,8 @@
 package transport
 
 import (
+	"math"
+
 	"repro/internal/sim"
 	"repro/internal/topo"
 )
@@ -35,33 +37,37 @@ type Handler interface {
 
 // DelayPolicy chooses the transit time of each message within the edge's
 // legal window [Delay−Uncertainty, Delay]. Implementations act as the delay
-// adversary.
+// adversary. Random draws come from s, the sender's private SplitMix64
+// stream: giving each sender its own stream makes a node's delay sequence a
+// function of its identity and send count alone, independent of how sends
+// of different nodes interleave — the property the sharded event drain
+// needs to stay bit-identical to the serial engine at any shard count.
 type DelayPolicy interface {
-	Draw(rng *sim.RNG, from, to int, p topo.LinkParams) float64
+	Draw(s *sim.Stream, from, to int, p topo.LinkParams) float64
 }
 
 // RandomDelay draws uniformly from the legal window.
 type RandomDelay struct{}
 
 // Draw implements DelayPolicy.
-func (RandomDelay) Draw(rng *sim.RNG, _, _ int, p topo.LinkParams) float64 {
-	if p.Uncertainty <= 0 || rng == nil {
+func (RandomDelay) Draw(s *sim.Stream, _, _ int, p topo.LinkParams) float64 {
+	if p.Uncertainty <= 0 || s == nil {
 		return p.Delay
 	}
-	return rng.Uniform(p.Delay-p.Uncertainty, p.Delay)
+	return s.Uniform(p.Delay-p.Uncertainty, p.Delay)
 }
 
 // MaxDelay always uses the maximum delay.
 type MaxDelay struct{}
 
 // Draw implements DelayPolicy.
-func (MaxDelay) Draw(_ *sim.RNG, _, _ int, p topo.LinkParams) float64 { return p.Delay }
+func (MaxDelay) Draw(_ *sim.Stream, _, _ int, p topo.LinkParams) float64 { return p.Delay }
 
 // MinDelay always uses the minimum delay.
 type MinDelay struct{}
 
 // Draw implements DelayPolicy.
-func (MinDelay) Draw(_ *sim.RNG, _, _ int, p topo.LinkParams) float64 {
+func (MinDelay) Draw(_ *sim.Stream, _, _ int, p topo.LinkParams) float64 {
 	return p.Delay - p.Uncertainty
 }
 
@@ -75,7 +81,7 @@ type ShiftDelay struct {
 }
 
 // Draw implements DelayPolicy.
-func (s ShiftDelay) Draw(_ *sim.RNG, from, to int, p topo.LinkParams) float64 {
+func (s ShiftDelay) Draw(_ *sim.Stream, from, to int, p topo.LinkParams) float64 {
 	towardHigh := to > from
 	if towardHigh != s.TowardLow {
 		return p.Delay - p.Uncertainty
@@ -83,28 +89,35 @@ func (s ShiftDelay) Draw(_ *sim.RNG, from, to int, p topo.LinkParams) float64 {
 	return p.Delay
 }
 
-// msgKind tags a pooled in-flight message.
-type msgKind uint8
-
-const (
-	msgBeacon msgKind = iota
-	msgControl
-)
-
-// message is one pooled in-flight record. Records are recycled through a
-// free list, so the steady-state send/deliver path allocates nothing (beacon
-// payloads are stored by value; control payloads box whatever the caller
-// sends, which is the caller's allocation).
+// message is one pooled in-flight beacon record. Records are recycled
+// through a per-shard free list, so the steady-state send/deliver path
+// allocates nothing.
 type message struct {
-	kind       msgKind
-	from, to   int32
+	from, to int32
+	// seq is the sender's send counter, the last tie-break of the content
+	// key: it preserves FIFO among same-(from,to) same-deadline beacons and
+	// — unlike a global sequence — is identical at every shard count.
 	seq        uint64
 	deadline   sim.Time
 	sentAt     sim.Time
 	minTransit float64
 	beacon     Beacon
-	payload    any
-	pos        int32 // index in Network.heap; -1 while free
+	pos        int32 // index in netShard.heap; -1 while free
+}
+
+// netShard owns the in-flight beacons addressed to the receivers it is
+// keyed to (shard = receiver mod K). During a parallel window only the
+// owning shard pops its heap; sends whose receiver lives on another shard
+// are staged in out[recvShard] and folded at the window barrier, so cell
+// (g, s) of the outbox matrix is written only by shard g in the drain phase
+// and read only by shard s in the flush phase — never both at once.
+type netShard struct {
+	msgs          []message // pooled record slab
+	free          []int32   // recycled slots
+	heap          []int32   // 4-ary min-heap of slots, ordered by the content key
+	out           [][]message
+	sent, dropped uint64
+	_             [2]uint64 // pad: shards bump counters concurrently
 }
 
 // Network schedules deliveries over a dynamic graph. A message is delivered
@@ -112,14 +125,14 @@ type message struct {
 // the model's guarantee that delivery is assured only while the estimate
 // edge persists at the receiver.
 //
-// In-flight messages live in a pooled deadline queue drained by a single
-// dispatch timer: one engine event per delivery deadline instead of one
-// closure-capturing event per message. Messages sharing a deadline deliver
-// in send order (FIFO). Accepted semantics change vs the per-message-event
-// substrate: all messages due at time T deliver at the dispatch timer's
-// position among T's engine events, not at each message's own scheduling
-// position, so tie-instant interleavings with e.g. visibility flips can
-// differ from the old engine — executions remain fully deterministic.
+// Beacons — the high-volume traffic — live in per-shard pooled deadline
+// queues registered with the engine as a sim.Source, which is what the
+// sharded event drain parallelizes. Control messages (handshake-rate, and
+// their handlers reschedule global events) stay on the engine's global
+// queue as pooled events. Delivery order at equal deadlines is the content
+// key (deadline, to, from, sender-seq) — deterministic and independent of
+// the shard count; controls keep engine FIFO order among themselves and,
+// like every global event, fire before source items due at the same time.
 //
 // The slab/free-list/4-ary-heap machinery deliberately mirrors
 // internal/sim's event queue (see Engine); a change to either sift or
@@ -127,30 +140,53 @@ type message struct {
 type Network struct {
 	engine  *sim.Engine
 	dyn     *topo.Dynamic
-	rng     *sim.RNG
 	policy  DelayPolicy
 	handler Handler
 
-	msgs     []message // pooled record slab
-	free     []int32   // recycled slots
-	heap     []int32   // 4-ary min-heap of slots, ordered by (deadline, seq)
-	nextSeq  uint64
-	dispatch *sim.Timer
-	armedAt  sim.Time
+	shards []netShard
+	// streams holds each sender's private delay-draw stream; senderSeq its
+	// beacon send counter. Both are indexed by sender and touched only from
+	// the sender's own event context.
+	streams   []sim.Stream
+	senderSeq []uint64
 
-	// Sent and Dropped count messages for diagnostics.
-	Sent    uint64
-	Dropped uint64
+	// ctl is the pooled slab of in-flight control messages; each slot's
+	// fire closure is built once and rescheduled forever.
+	ctl     []control
+	ctlFree []int32
 }
 
-// NewNetwork wires a transport over the given graph. handler may be set
-// later with SetHandler.
+// control is one pooled in-flight control message, delivered by its own
+// global engine event.
+type control struct {
+	from, to   int32
+	sentAt     sim.Time
+	minTransit float64
+	payload    any
+	fire       func(t sim.Time)
+}
+
+// NewNetwork wires a transport over the given graph and registers it as an
+// event source with the engine (sized to the engine's EventShards; set
+// EventParallelism before building the network). handler may be set later
+// with SetHandler. rng seeds the per-sender delay streams.
 func NewNetwork(engine *sim.Engine, dyn *topo.Dynamic, rng *sim.RNG, policy DelayPolicy) *Network {
 	if policy == nil {
 		policy = RandomDelay{}
 	}
-	n := &Network{engine: engine, dyn: dyn, rng: rng, policy: policy}
-	n.dispatch = engine.NewTimer(n.drain)
+	n := &Network{engine: engine, dyn: dyn, policy: policy}
+	k := engine.EventShards()
+	n.shards = make([]netShard, k)
+	for s := range n.shards {
+		n.shards[s].out = make([][]message, k)
+	}
+	base := rng.Uint64()
+	n.streams = make([]sim.Stream, dyn.N())
+	for u := range n.streams {
+		n.streams[u] = sim.NewStream(base, u)
+	}
+	n.senderSeq = make([]uint64, dyn.N())
+	engine.AddSource(n)
 	return n
 }
 
@@ -160,157 +196,270 @@ func (n *Network) SetHandler(h Handler) { n.handler = h }
 // SetPolicy replaces the delay adversary (usable mid-run).
 func (n *Network) SetPolicy(p DelayPolicy) { n.policy = p }
 
-// SendBeacon transmits a beacon from → to if the link is declared. Delivery
-// happens after the drawn delay, provided the receiver sees the sender then.
+// Sent returns the number of messages handed to the transport (diagnostic).
+func (n *Network) Sent() uint64 {
+	var sum uint64
+	for s := range n.shards {
+		sum += n.shards[s].sent
+	}
+	return sum
+}
+
+// Dropped returns the number of messages dropped because the receiver no
+// longer saw the sender at delivery time (diagnostic).
+func (n *Network) Dropped() uint64 {
+	var sum uint64
+	for s := range n.shards {
+		sum += n.shards[s].dropped
+	}
+	return sum
+}
+
+// SendBeacon transmits a beacon from → to if the link is declared, stamped
+// at the current engine time. Delivery happens after the drawn delay,
+// provided the receiver sees the sender then.
 func (n *Network) SendBeacon(from, to int, b Beacon) {
+	n.SendBeaconAt(from, to, b, n.engine.Now())
+}
+
+// SendBeaconAt is SendBeacon with an explicit send time: the beacon wheel
+// passes its slot time, which during a parallel window is the event's own
+// time (the engine clock is not advanced per-item inside a window).
+func (n *Network) SendBeaconAt(from, to int, b Beacon, at sim.Time) {
 	params, ok := n.dyn.Params(from, to)
 	if !ok {
 		return
 	}
-	m := n.send(from, to, params)
-	m.kind = msgBeacon
-	m.beacon = b
+	k := len(n.shards)
+	src := &n.shards[from%k]
+	src.sent++
+	m := message{
+		from:       int32(from),
+		to:         int32(to),
+		seq:        n.senderSeq[from],
+		sentAt:     at,
+		minTransit: params.Delay - params.Uncertainty,
+		beacon:     b,
+		pos:        -1,
+	}
+	n.senderSeq[from]++
+	delay := n.policy.Draw(&n.streams[from], from, to, params)
+	if delay < m.minTransit {
+		delay = m.minTransit
+	}
+	if delay > params.Delay {
+		delay = params.Delay
+	}
+	m.deadline = at + delay
+	dst := to % k
+	if n.engine.InWindow() && dst != from%k {
+		// Cross-shard send inside a window: stage for the barrier fold. The
+		// deadline is ≥ window-start + lookahead ≥ window-end (lookahead is
+		// the min link transit), so deferring the push past the window can
+		// never skip a due delivery.
+		src.out[dst] = append(src.out[dst], m)
+		return
+	}
+	n.shards[dst].push(m)
 }
 
-// SendControl transmits an arbitrary control payload (handshake messages).
+// SendControl transmits an arbitrary control payload (handshake messages)
+// as a pooled global engine event. Control senders are global events
+// themselves (handshake timers, OnControl handlers), so this never runs
+// inside a parallel window.
 func (n *Network) SendControl(from, to int, payload any) {
 	params, ok := n.dyn.Params(from, to)
 	if !ok {
 		return
 	}
-	m := n.send(from, to, params)
-	m.kind = msgControl
-	m.payload = payload
-}
-
-// BroadcastBeacon sends the beacon to every neighbor currently visible to
-// from.
-func (n *Network) BroadcastBeacon(from int, b Beacon, scratch []int) []int {
-	scratch = n.dyn.Neighbors(from, scratch[:0])
-	for _, to := range scratch {
-		n.SendBeacon(from, to, b)
-	}
-	return scratch
-}
-
-// send enqueues a pooled message record for the drawn delay and arms the
-// dispatch timer if this deadline is now the earliest. The caller fills in
-// the kind-specific payload on the returned record before any other
-// transport call.
-func (n *Network) send(from, to int, params topo.LinkParams) *message {
-	delay := n.policy.Draw(n.rng, from, to, params)
-	if delay < params.Delay-params.Uncertainty {
-		delay = params.Delay - params.Uncertainty
+	n.shards[from%len(n.shards)].sent++
+	at := n.engine.Now()
+	minTransit := params.Delay - params.Uncertainty
+	delay := n.policy.Draw(&n.streams[from], from, to, params)
+	if delay < minTransit {
+		delay = minTransit
 	}
 	if delay > params.Delay {
 		delay = params.Delay
 	}
-	n.Sent++
-	slot := n.alloc()
-	m := &n.msgs[slot]
-	m.from = int32(from)
-	m.to = int32(to)
-	m.seq = n.nextSeq
-	n.nextSeq++
-	m.sentAt = n.engine.Now()
-	m.deadline = m.sentAt + delay
-	m.minTransit = params.Delay - params.Uncertainty
-	m.pos = int32(len(n.heap))
-	n.heap = append(n.heap, slot)
-	n.siftUp(int(m.pos))
-	if !n.dispatch.Pending() || m.deadline < n.armedAt {
-		n.armedAt = m.deadline
-		n.dispatch.Reset(m.deadline)
-	}
-	return m
+	slot := n.ctlAlloc()
+	c := &n.ctl[slot]
+	c.from = int32(from)
+	c.to = int32(to)
+	c.sentAt = at
+	c.minTransit = minTransit
+	c.payload = payload
+	n.engine.Schedule(at+delay, c.fire)
 }
 
-// drain delivers every message whose deadline has arrived, in (deadline,
-// send-order) sequence, then re-arms the dispatch timer for the next
-// deadline.
-func (n *Network) drain(t sim.Time) {
-	for len(n.heap) > 0 {
-		slot := n.heap[0]
-		m := &n.msgs[slot]
-		if m.deadline > t {
-			break
-		}
-		// Copy out before releasing: the handler may send, growing the slab.
-		kind, from, to := m.kind, int(m.from), int(m.to)
-		beacon, payload := m.beacon, m.payload
-		d := Delivery{
-			From:       from,
-			To:         to,
-			SentAt:     m.sentAt,
-			At:         t,
-			MinTransit: m.minTransit,
-		}
-		n.removeAt(0)
-		n.release(slot)
-		if n.handler == nil || !n.dyn.Sees(to, from) {
-			n.Dropped++
-			continue
-		}
-		if kind == msgBeacon {
-			n.handler.OnBeacon(to, from, beacon, d)
-		} else {
-			n.handler.OnControl(to, from, payload, d)
-		}
+// BroadcastBeacon sends the beacon to every neighbor currently visible to
+// from, stamped at the current engine time.
+func (n *Network) BroadcastBeacon(from int, b Beacon, scratch []int) []int {
+	return n.BroadcastBeaconAt(from, b, scratch, n.engine.Now())
+}
+
+// BroadcastBeaconAt is BroadcastBeacon with an explicit send time (see
+// SendBeaconAt).
+func (n *Network) BroadcastBeaconAt(from int, b Beacon, scratch []int, at sim.Time) []int {
+	scratch = n.dyn.Neighbors(from, scratch[:0])
+	for _, to := range scratch {
+		n.SendBeaconAt(from, to, b, at)
 	}
-	if len(n.heap) > 0 {
-		n.armedAt = n.msgs[n.heap[0]].deadline
-		n.dispatch.Reset(n.armedAt)
+	return scratch
+}
+
+// Peek implements sim.Source: the earliest pending delivery deadline of the
+// shard, or +Inf when none.
+func (n *Network) Peek(shard int) sim.Time {
+	sh := &n.shards[shard]
+	if len(sh.heap) == 0 {
+		return math.Inf(1)
 	}
+	return sh.msgs[sh.heap[0]].deadline
+}
+
+// FireNext implements sim.Source: deliver the shard's earliest beacon. The
+// receiver is owned by this shard, so the handler chain (estimate samples,
+// the algorithm's per-receiver register) writes only shard-owned state.
+func (n *Network) FireNext(shard int, now sim.Time) {
+	sh := &n.shards[shard]
+	slot := sh.heap[0]
+	m := &sh.msgs[slot]
+	// Copy out before releasing: the handler may send, reusing the record.
+	from, to := int(m.from), int(m.to)
+	b := m.beacon
+	d := Delivery{
+		From:       from,
+		To:         to,
+		SentAt:     m.sentAt,
+		At:         now,
+		MinTransit: m.minTransit,
+	}
+	sh.removeAt(0)
+	sh.release(slot)
+	if n.handler == nil || !n.dyn.Sees(to, from) {
+		sh.dropped++
+		return
+	}
+	n.handler.OnBeacon(to, from, b, d)
+}
+
+// Flush implements sim.Source: fold every outbox staged for this shard into
+// its queue, in sender-shard order. The insertion order does not affect
+// delivery order — the heap sorts by the content key — it only has to be
+// deterministic for the pooled slot assignment.
+func (n *Network) Flush(shard int) {
+	dst := &n.shards[shard]
+	for g := range n.shards {
+		staged := n.shards[g].out[shard]
+		for i := range staged {
+			dst.push(staged[i])
+		}
+		n.shards[g].out[shard] = staged[:0]
+	}
+}
+
+// deliverControl fires a pooled control slot's global event.
+func (n *Network) deliverControl(slot int32, t sim.Time) {
+	c := &n.ctl[slot]
+	from, to := int(c.from), int(c.to)
+	payload := c.payload
+	d := Delivery{
+		From:       from,
+		To:         to,
+		SentAt:     c.sentAt,
+		At:         t,
+		MinTransit: c.minTransit,
+	}
+	// Release before handling: dropping the payload reference frees boxed
+	// controls, and the handler may send again, reusing the slot.
+	c.payload = nil
+	n.ctlFree = append(n.ctlFree, slot)
+	if n.handler == nil || !n.dyn.Sees(to, from) {
+		n.shards[to%len(n.shards)].dropped++
+		return
+	}
+	n.handler.OnControl(to, from, payload, d)
+}
+
+// ctlAlloc takes a control slot from the free list, growing the slab (and
+// binding the slot's fire closure, once) only when the pool is dry.
+func (n *Network) ctlAlloc() int32 {
+	if l := len(n.ctlFree); l > 0 {
+		slot := n.ctlFree[l-1]
+		n.ctlFree = n.ctlFree[:l-1]
+		return slot
+	}
+	slot := int32(len(n.ctl))
+	n.ctl = append(n.ctl, control{})
+	n.ctl[slot].fire = func(t sim.Time) { n.deliverControl(slot, t) }
+	return slot
+}
+
+// push inserts a message into the shard's pooled deadline queue.
+func (sh *netShard) push(m message) {
+	slot := sh.alloc()
+	r := &sh.msgs[slot]
+	*r = m
+	r.pos = int32(len(sh.heap))
+	sh.heap = append(sh.heap, slot)
+	sh.siftUp(int(r.pos))
 }
 
 // alloc takes a message slot from the free list, growing the slab only when
 // the pool is dry.
-func (n *Network) alloc() int32 {
-	if l := len(n.free); l > 0 {
-		slot := n.free[l-1]
-		n.free = n.free[:l-1]
+func (sh *netShard) alloc() int32 {
+	if l := len(sh.free); l > 0 {
+		slot := sh.free[l-1]
+		sh.free = sh.free[:l-1]
 		return slot
 	}
-	n.msgs = append(n.msgs, message{pos: -1})
-	return int32(len(n.msgs) - 1)
+	sh.msgs = append(sh.msgs, message{pos: -1})
+	return int32(len(sh.msgs) - 1)
 }
 
-// release recycles a slot; dropping the payload releases boxed control
-// messages.
-func (n *Network) release(slot int32) {
-	m := &n.msgs[slot]
-	m.payload = nil
-	m.pos = -1
-	n.free = append(n.free, slot)
+// release recycles a slot.
+func (sh *netShard) release(slot int32) {
+	sh.msgs[slot].pos = -1
+	sh.free = append(sh.free, slot)
 }
 
-// less orders slots by (deadline, seq) — FIFO among equal deadlines.
-func (n *Network) less(a, b int32) bool {
-	ma, mb := &n.msgs[a], &n.msgs[b]
+// less orders slots by the content key (deadline, to, from, sender-seq):
+// a total order over distinct messages that depends only on the messages
+// themselves, so delivery order is identical at every shard count. Among
+// same-pair ties the sender-seq keeps FIFO send order.
+func (sh *netShard) less(a, b int32) bool {
+	ma, mb := &sh.msgs[a], &sh.msgs[b]
 	if ma.deadline != mb.deadline {
 		return ma.deadline < mb.deadline
+	}
+	if ma.to != mb.to {
+		return ma.to < mb.to
+	}
+	if ma.from != mb.from {
+		return ma.from < mb.from
 	}
 	return ma.seq < mb.seq
 }
 
-func (n *Network) siftUp(i int) {
-	h := n.heap
+func (sh *netShard) siftUp(i int) {
+	h := sh.heap
 	slot := h[i]
 	for i > 0 {
 		p := (i - 1) >> 2
-		if !n.less(slot, h[p]) {
+		if !sh.less(slot, h[p]) {
 			break
 		}
 		h[i] = h[p]
-		n.msgs[h[i]].pos = int32(i)
+		sh.msgs[h[i]].pos = int32(i)
 		i = p
 	}
 	h[i] = slot
-	n.msgs[slot].pos = int32(i)
+	sh.msgs[slot].pos = int32(i)
 }
 
-func (n *Network) siftDown(i int) {
-	h := n.heap
+func (sh *netShard) siftDown(i int) {
+	h := sh.heap
 	l := len(h)
 	slot := h[i]
 	for {
@@ -324,32 +473,32 @@ func (n *Network) siftDown(i int) {
 			end = l
 		}
 		for j := c + 1; j < end; j++ {
-			if n.less(h[j], h[best]) {
+			if sh.less(h[j], h[best]) {
 				best = j
 			}
 		}
-		if !n.less(h[best], slot) {
+		if !sh.less(h[best], slot) {
 			break
 		}
 		h[i] = h[best]
-		n.msgs[h[i]].pos = int32(i)
+		sh.msgs[h[i]].pos = int32(i)
 		i = best
 	}
 	h[i] = slot
-	n.msgs[slot].pos = int32(i)
+	sh.msgs[slot].pos = int32(i)
 }
 
-func (n *Network) removeAt(i int) {
-	l := len(n.heap) - 1
-	last := n.heap[l]
-	n.heap = n.heap[:l]
+func (sh *netShard) removeAt(i int) {
+	l := len(sh.heap) - 1
+	last := sh.heap[l]
+	sh.heap = sh.heap[:l]
 	if i == l {
 		return
 	}
-	n.heap[i] = last
-	n.msgs[last].pos = int32(i)
-	n.siftDown(i)
-	if int(n.msgs[last].pos) == i {
-		n.siftUp(i)
+	sh.heap[i] = last
+	sh.msgs[last].pos = int32(i)
+	sh.siftDown(i)
+	if int(sh.msgs[last].pos) == i {
+		sh.siftUp(i)
 	}
 }

@@ -89,7 +89,7 @@ func TestNoDeliveryToInvisibleReceiver(t *testing.T) {
 	if len(cap.beacons) != 0 {
 		t.Fatalf("beacon delivered over dead edge")
 	}
-	if net.Dropped == 0 {
+	if net.Dropped() == 0 {
 		t.Error("drop not counted")
 	}
 }
@@ -98,7 +98,7 @@ func TestSendOnUndeclaredLinkIsNoop(t *testing.T) {
 	eng, _, net, cap := setup(t, MaxDelay{})
 	net.SendBeacon(0, 2, Beacon{}) // 0–2 not a line edge
 	eng.RunUntil(1)
-	if len(cap.beacons) != 0 || net.Sent != 0 {
+	if len(cap.beacons) != 0 || net.Sent() != 0 {
 		t.Fatal("message sent over undeclared link")
 	}
 }
@@ -121,7 +121,7 @@ func TestBroadcastReachesAllNeighbors(t *testing.T) {
 
 func TestDelayPolicies(t *testing.T) {
 	p := params()
-	rng := sim.NewRNG(3)
+	stream := sim.NewStream(3, 0)
 	tests := []struct {
 		name   string
 		policy DelayPolicy
@@ -137,7 +137,7 @@ func TestDelayPolicies(t *testing.T) {
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
-			if got := tc.policy.Draw(rng, tc.from, tc.to, p); got != tc.want {
+			if got := tc.policy.Draw(&stream, tc.from, tc.to, p); got != tc.want {
 				t.Errorf("Draw = %v, want %v", got, tc.want)
 			}
 		})
@@ -151,7 +151,8 @@ func TestRandomDelayWithinWindowProperty(t *testing.T) {
 			Delay: float64(delayRaw%50+1) / 100,
 		}
 		p.Uncertainty = p.Delay * float64(uncRaw%101) / 100
-		d := (RandomDelay{}).Draw(sim.NewRNG(seed), 0, 1, p)
+		s := sim.NewStream(uint64(seed), 0)
+		d := (RandomDelay{}).Draw(&s, 0, 1, p)
 		return d >= p.Delay-p.Uncertainty-1e-12 && d <= p.Delay+1e-12
 	}
 	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(4))}
@@ -180,9 +181,10 @@ func TestSameDeadlineFIFO(t *testing.T) {
 	}
 }
 
-// TestMessagePoolRecycles checks the in-flight record pool: sustained
-// traffic must not grow the slab beyond the peak in-flight population, and
-// recycled records must not leak payloads across messages.
+// TestMessagePoolRecycles checks the in-flight record pools: sustained
+// traffic must not grow the beacon or control slabs beyond the peak
+// in-flight population, and recycled records must not leak payloads across
+// messages.
 func TestMessagePoolRecycles(t *testing.T) {
 	eng, _, net, cap := setup(t, MaxDelay{})
 	for round := 0; round < 500; round++ {
@@ -190,8 +192,13 @@ func TestMessagePoolRecycles(t *testing.T) {
 		net.SendBeacon(1, 0, Beacon{L: float64(round)})
 		eng.RunUntil(eng.Now() + 1)
 	}
-	if slab := len(net.msgs); slab > 8 {
-		t.Fatalf("message slab grew to %d for ≤2 in-flight messages — pool not recycling", slab)
+	beaconSlab := 0
+	for s := range net.shards {
+		beaconSlab += len(net.shards[s].msgs)
+	}
+	if beaconSlab > 8 || len(net.ctl) > 8 {
+		t.Fatalf("slabs grew to %d beacon / %d control records for ≤2 in-flight messages — pool not recycling",
+			beaconSlab, len(net.ctl))
 	}
 	if len(cap.payloads) != 500 || len(cap.values) != 500 {
 		t.Fatalf("delivered %d controls / %d beacons, want 500 each", len(cap.payloads), len(cap.values))
@@ -201,10 +208,10 @@ func TestMessagePoolRecycles(t *testing.T) {
 			t.Fatalf("payload %d = %v (recycled record aliased another message)", i, p)
 		}
 	}
-	// Released records must have dropped their payload references.
-	for i := range net.msgs {
-		if net.msgs[i].pos < 0 && net.msgs[i].payload != nil {
-			t.Fatalf("free record %d still holds a payload reference", i)
+	// Released control records must have dropped their payload references.
+	for slot := range net.ctl {
+		if net.ctl[slot].payload != nil {
+			t.Fatalf("free control record %d still holds a payload reference", slot)
 		}
 	}
 }

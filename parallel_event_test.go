@@ -1,0 +1,85 @@
+package gradsync_test
+
+// Determinism net for the sharded event drain (Config.EventParallelism),
+// mirroring parallel_tick_test.go: full randomized runs — random topology,
+// scenario, drift adversary, estimate layer, algorithm and parameters —
+// must produce byte-identical state whether beacon fires and deliveries
+// drain serially, in 2 or 8 parallel window shards, or through the retained
+// serially-merged reference drain (sim.Engine.SetReferenceDrain). The
+// 8-shard replays also run under `make race`, so the window discipline
+// (shard-owned writes, mailbox staging, barrier folds) is checked by the
+// detector, not just asserted.
+
+import (
+	"testing"
+
+	gradsync "repro"
+	"repro/internal/scenario"
+)
+
+// TestShardedDrainDifferential replays randomized full runs at event-shard
+// counts 1, 2 and 8 — plus 8 in reference mode — and requires bit-identical
+// clocks, max estimates, event counts and algorithm counters. Shard count 8
+// on small N also covers the K > N boundary (idle trailing wheel shards).
+func TestShardedDrainDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential replays take a few seconds")
+	}
+	for caseSeed := int64(101); caseSeed <= 110; caseSeed++ {
+		c := randomTickCase(caseSeed)
+		t.Run(c.name, func(t *testing.T) {
+			run := func(evPar int, reference bool) tickFingerprint {
+				cfg := c.build(1)
+				cfg.EventParallelism = evPar
+				net := gradsync.MustNew(cfg)
+				if reference {
+					net.Runtime().Engine.SetReferenceDrain(true)
+				}
+				net.RunFor(c.horizon)
+				return fingerprint(net)
+			}
+			serial := run(1, false)
+			for _, evPar := range []int{2, 8} {
+				if d := serial.diff(run(evPar, false)); d != "" {
+					t.Fatalf("EventParallelism %d diverged from serial: %s", evPar, d)
+				}
+			}
+			if d := serial.diff(run(8, true)); d != "" {
+				t.Fatalf("reference drain at 8 shards diverged from serial: %s", d)
+			}
+		})
+	}
+}
+
+// TestShardedDrainScaleRing is the at-scale replay: a 2000-node ring with
+// chord churn — the E15/E16 shape — compared serial vs 8 event shards
+// stacked on 8 tick shards, so the two fan-outs are exercised together the
+// way the scale tiers run them.
+func TestShardedDrainScaleRing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale replay takes a few seconds")
+	}
+	const n = 2000
+	pairs := make([]scenario.Pair, 0, 16)
+	for i := 0; i < 16; i++ {
+		u := i * (n / 2) / 16
+		pairs = append(pairs, scenario.Pair{u, u + n/2})
+	}
+	run := func(tickPar, evPar int) tickFingerprint {
+		net := gradsync.MustNew(gradsync.Config{
+			Topology:         gradsync.RingTopology(n),
+			DiameterHint:     n / 2,
+			Drift:            gradsync.TwoGroupDrift(n / 2),
+			Scenario:         &scenario.Churn{Every: 1.5, Pairs: pairs},
+			TickParallelism:  tickPar,
+			EventParallelism: evPar,
+			Seed:             1,
+		})
+		net.RunFor(4)
+		return fingerprint(net)
+	}
+	serial := run(1, 1)
+	if d := serial.diff(run(8, 8)); d != "" {
+		t.Fatalf("EventParallelism 8 × TickParallelism 8 diverged from serial at N=%d: %s", n, d)
+	}
+}
