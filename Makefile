@@ -49,7 +49,7 @@ bench:
 # 10k-node ring with churn, whose events/sec is the throughput headline)
 # at one pass each.
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkCoreStep|BenchmarkBlockSyncStep|BenchmarkNeighbors' -benchmem ./internal/core ./internal/baselines ./internal/topo > BENCH_raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkCoreStep|BenchmarkNeighborLevels|BenchmarkBlockSyncStep|BenchmarkNeighbors|BenchmarkTopoChurn' -benchmem ./internal/core ./internal/baselines ./internal/topo > BENCH_raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem ./internal/sim >> BENCH_raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkMessagingInvalidate' -benchmem ./internal/estimate >> BENCH_raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkPoolRun' -benchmem ./internal/par >> BENCH_raw.txt

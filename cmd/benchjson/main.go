@@ -41,6 +41,12 @@ type Record struct {
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
 	BPerOp       float64 `json:"b_per_op,omitempty"`
 	AllocsPerOp  int64   `json:"allocs_per_op,omitempty"`
+	// HasMem marks that the B/op and allocs/op columns were present (the
+	// run used -benchmem), so a recorded 0 allocs/op is distinguishable
+	// from memory data simply being absent — required for the allocation
+	// gate in -compare, where 0 → 1 allocs/op on a pinned-alloc-free
+	// benchmark must fail.
+	HasMem bool `json:"has_mem,omitempty"`
 }
 
 // Report is the emitted JSON document.
@@ -139,6 +145,7 @@ func parse(r io.Reader) (*Report, error) {
 			if rec.AllocsPerOp, err = strconv.ParseInt(m[6], 10, 64); err != nil {
 				return nil, fmt.Errorf("bad allocs/op in %q: %w", line, err)
 			}
+			rec.HasMem = true
 		}
 		report.Benchmarks = append(report.Benchmarks, rec)
 	}
@@ -171,10 +178,18 @@ type deltaRow struct {
 	oldNs, newNs float64
 	deltaPct     float64
 	oldEv, newEv float64 // events/sec where recorded (0 = absent)
+	hasMem       bool    // both records carried -benchmem columns
+	oldAllocs    int64
+	newAllocs    int64
+	oldB, newB   float64
 }
 
 // compareFiles diffs two record files and fails on regressions: a benchmark
-// present in both whose ns/op grew by more than threshold percent. New and
+// present in both whose ns/op grew by more than threshold percent, or —
+// when both records carry -benchmem data — whose allocs/op grew at all.
+// Allocation counts are deterministic, so the alloc gate is exact: it is
+// what keeps the pinned-alloc-free hot paths (core step, invalidation,
+// churn transitions) from silently regaining a per-op allocation. New and
 // removed benchmarks are reported but never fail the check, so adding a
 // benchmark (or retiring one) does not break CI.
 func compareFiles(oldPath, newPath string, threshold float64, markdown bool, stdout io.Writer) error {
@@ -213,10 +228,20 @@ func compareFiles(oldPath, newPath string, threshold float64, markdown bool, std
 				fmt.Sprintf("%s %s: %.1f → %.1f ns/op (%+.1f%%, threshold %.0f%%)",
 					r.Pkg, r.Name, prev.NsPerOp, r.NsPerOp, deltaPct, threshold))
 		}
+		hasMem := prev.HasMem && r.HasMem
+		if hasMem && r.AllocsPerOp > prev.AllocsPerOp {
+			verdict = "REGRESSED"
+			regressions = append(regressions,
+				fmt.Sprintf("%s %s: %d → %d allocs/op",
+					r.Pkg, r.Name, prev.AllocsPerOp, r.AllocsPerOp))
+		}
 		rows = append(rows, deltaRow{
 			name: r.Name, verdict: verdict,
 			oldNs: prev.NsPerOp, newNs: r.NsPerOp, deltaPct: deltaPct,
 			oldEv: prev.EventsPerSec, newEv: r.EventsPerSec,
+			hasMem:    hasMem,
+			oldAllocs: prev.AllocsPerOp, newAllocs: r.AllocsPerOp,
+			oldB: prev.BPerOp, newB: r.BPerOp,
 		})
 	}
 	removed := make([]string, 0, len(old))
@@ -259,8 +284,13 @@ func renderText(rows []deltaRow, w io.Writer) {
 		case "removed":
 			fmt.Fprintf(w, "removed   %-50s\n", r.name)
 		default:
-			fmt.Fprintf(w, "%-9s %-50s %12.1f → %-12.1f ns/op  %+.1f%%\n",
-				r.verdict, r.name, r.oldNs, r.newNs, r.deltaPct)
+			mem := ""
+			if r.hasMem {
+				mem = fmt.Sprintf("  %.0f → %.0f B/op  %d → %d allocs/op",
+					r.oldB, r.newB, r.oldAllocs, r.newAllocs)
+			}
+			fmt.Fprintf(w, "%-9s %-50s %12.1f → %-12.1f ns/op  %+.1f%%%s\n",
+				r.verdict, r.name, r.oldNs, r.newNs, r.deltaPct, mem)
 		}
 	}
 }
@@ -269,26 +299,31 @@ func renderText(rows []deltaRow, w io.Writer) {
 // summary: one row per benchmark, baseline vs run ns/op, the percentage
 // delta, and the events/sec columns where the benchmark records them.
 func renderMarkdown(rows []deltaRow, threshold float64, w io.Writer) {
-	fmt.Fprintf(w, "### Benchmark delta vs baseline (threshold %.0f%% ns/op)\n\n", threshold)
-	fmt.Fprintln(w, "| benchmark | baseline ns/op | run ns/op | Δ ns/op | events/sec (baseline → run) | verdict |")
-	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---|")
+	fmt.Fprintf(w, "### Benchmark delta vs baseline (threshold %.0f%% ns/op; any allocs/op growth)\n\n", threshold)
+	fmt.Fprintln(w, "| benchmark | baseline ns/op | run ns/op | Δ ns/op | B/op (baseline → run) | allocs/op (baseline → run) | events/sec (baseline → run) | verdict |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|---:|---|")
 	for _, r := range rows {
 		ev := ""
 		if r.oldEv > 0 || r.newEv > 0 {
 			ev = fmt.Sprintf("%.3g → %.3g", r.oldEv, r.newEv)
 		}
+		bops, allocs := "", ""
+		if r.hasMem {
+			bops = fmt.Sprintf("%.0f → %.0f", r.oldB, r.newB)
+			allocs = fmt.Sprintf("%d → %d", r.oldAllocs, r.newAllocs)
+		}
 		switch r.verdict {
 		case "new":
-			fmt.Fprintf(w, "| %s | — | %.1f | — | %s | new |\n", r.name, r.newNs, ev)
+			fmt.Fprintf(w, "| %s | — | %.1f | — | | | %s | new |\n", r.name, r.newNs, ev)
 		case "removed":
-			fmt.Fprintf(w, "| %s | — | — | — | | removed |\n", r.name)
+			fmt.Fprintf(w, "| %s | — | — | — | | | | removed |\n", r.name)
 		default:
 			verdict := "ok"
 			if r.verdict == "REGRESSED" {
 				verdict = "**REGRESSED**"
 			}
-			fmt.Fprintf(w, "| %s | %.1f | %.1f | %+.1f%% | %s | %s |\n",
-				r.name, r.oldNs, r.newNs, r.deltaPct, ev, verdict)
+			fmt.Fprintf(w, "| %s | %.1f | %.1f | %+.1f%% | %s | %s | %s | %s |\n",
+				r.name, r.oldNs, r.newNs, r.deltaPct, bops, allocs, ev, verdict)
 		}
 	}
 }

@@ -47,9 +47,15 @@ func TestParseAndWrite(t *testing.T) {
 	if first.Iterations != 175795 || first.NsPerOp != 6696 || first.AllocsPerOp != 0 {
 		t.Errorf("record 0 numbers = %+v", first)
 	}
+	if !first.HasMem {
+		t.Errorf("record 0 HasMem = false; a measured 0 allocs/op must be marked as present")
+	}
 	second := report.Benchmarks[1]
 	if second.Pkg != "repro" || second.Name != "BenchmarkSweepReplicas/parallel=8" {
 		t.Errorf("record 1 = %+v (the -GOMAXPROCS suffix must be stripped)", second)
+	}
+	if second.HasMem {
+		t.Errorf("record 1 HasMem = true despite no -benchmem columns")
 	}
 	third := report.Benchmarks[2]
 	if third.Name != "BenchmarkThroughput" || third.BPerOp != 16 || third.AllocsPerOp != 1 {
@@ -121,6 +127,37 @@ func TestCompareRegressionFails(t *testing.T) {
 	}
 }
 
+// TestCompareAllocRegressionFails pins the allocation gate: a benchmark that
+// was measured alloc-free and regains even one alloc/op fails the compare,
+// regardless of its ns/op staying inside the threshold.
+func TestCompareAllocRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json",
+		Record{Pkg: "p", Name: "BenchmarkA", NsPerOp: 100, HasMem: true})
+	niu := writeReport(t, dir, "new.json",
+		Record{Pkg: "p", Name: "BenchmarkA", NsPerOp: 101, BPerOp: 48, AllocsPerOp: 1, HasMem: true})
+	var stdout bytes.Buffer
+	err := run([]string{"-compare", old, niu}, strings.NewReader(""), &stdout)
+	if err == nil {
+		t.Fatalf("0 → 1 allocs/op passed the compare:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "0 → 1 allocs/op") {
+		t.Errorf("output does not name the alloc regression:\n%s", stdout.String())
+	}
+	// Fewer allocations never fail; absent memory data on either side
+	// disables the gate (old baselines predate -benchmem capture).
+	better := writeReport(t, dir, "better.json",
+		Record{Pkg: "p", Name: "BenchmarkA", NsPerOp: 100, HasMem: true})
+	if err := run([]string{"-compare", niu, better}, strings.NewReader(""), &bytes.Buffer{}); err != nil {
+		t.Errorf("dropping 1 → 0 allocs/op failed the compare: %v", err)
+	}
+	noMem := writeReport(t, dir, "nomem.json",
+		Record{Pkg: "p", Name: "BenchmarkA", NsPerOp: 100})
+	if err := run([]string{"-compare", noMem, niu}, strings.NewReader(""), &bytes.Buffer{}); err != nil {
+		t.Errorf("alloc gate fired against a baseline without memory data: %v", err)
+	}
+}
+
 func TestCompareImprovementNeverFails(t *testing.T) {
 	dir := t.TempDir()
 	old := writeReport(t, dir, "old.json", Record{Pkg: "p", Name: "BenchmarkA", NsPerOp: 200})
@@ -146,9 +183,9 @@ func TestCompareMarkdownTable(t *testing.T) {
 	got := stdout.String()
 	for _, want := range []string{
 		"| benchmark |",
-		"| BenchmarkA | 100.0 | 140.0 | +40.0% | 6e+05 → 4.5e+05 | **REGRESSED** |",
+		"| BenchmarkA | 100.0 | 140.0 | +40.0% |  |  | 6e+05 → 4.5e+05 | **REGRESSED** |",
 		"| BenchmarkNew | — | 10.0 | — |",
-		"| BenchmarkGone | — | — | — | | removed |",
+		"| BenchmarkGone | — | — | — | | | | removed |",
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("markdown output missing %q:\n%s", want, got)

@@ -79,6 +79,12 @@ func run(args []string, stdout io.Writer) error {
 		res := experiments.RunReplicated(entry.Run, spec)
 		ran++
 		fmt.Fprintln(w, res.String())
+		// Memory footers are machine-dependent, so they print outside the
+		// deterministic report body, on `===`-prefixed lines that report
+		// diffing strips along with the timing summary below.
+		for _, m := range res.MemNotes {
+			fmt.Fprintf(w, "=== mem %s: %s ===\n", res.ID, m)
+		}
 		if !res.Pass {
 			failed++
 		}

@@ -68,6 +68,7 @@ func New(cfg Config) (*Network, error) {
 		TickParallelism:  cfg.TickParallelism,
 		EventParallelism: cfg.EventParallelism,
 		Seed:             cfg.Seed,
+		ReferenceLayout:  cfg.ReferenceLayout,
 	})
 	if err != nil {
 		return nil, err
@@ -110,11 +111,12 @@ func New(cfg Config) (*Network, error) {
 	switch cfg.Estimates.kind {
 	case "messaging":
 		layer := estimate.NewMessaging(n, rt.Dyn, rt.Hardware, estimate.MessagingConfig{
-			Rho:            cfg.Rho,
-			Mu:             cfg.Mu,
-			BeaconInterval: cfg.BeaconInterval,
-			TickSlop:       2 * cfg.Tick,
-			Centered:       cfg.Estimates.centered,
+			Rho:             cfg.Rho,
+			Mu:              cfg.Mu,
+			BeaconInterval:  cfg.BeaconInterval,
+			TickSlop:        2 * cfg.Tick,
+			Centered:        cfg.Estimates.centered,
+			ReferenceLayout: cfg.ReferenceLayout,
 		})
 		rt.SetEstimator(layer)
 	default: // oracle
@@ -183,6 +185,9 @@ func New(cfg Config) (*Network, error) {
 		a, err := core.New(p)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.ReferenceLayout {
+			a.SetReferenceLayout(true)
 		}
 		net.aopt = a
 		net.algo = a

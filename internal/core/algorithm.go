@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/analysis"
+	"repro/internal/csr"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/transport"
@@ -63,11 +64,29 @@ type Algorithm struct {
 	m    []float64 // max estimates M_u
 	mult []float64 // current rate multiplier (1 or 1+µ)
 
+	// Reference (map-backed) layout, active when refLayout is set:
+	// edges[u] maps peer → record; peers[u] lists the known peer ids in
+	// ascending order so trigger evaluation iterates deterministically
+	// (maps would randomize RNG draw order through the estimate layer).
 	edges []map[int]*edgeRec
-	// peers[u] lists the known peer ids in ascending order so trigger
-	// evaluation iterates deterministically (maps would randomize RNG draw
-	// order through the estimate layer).
 	peers [][]int
+
+	// Structure-of-arrays layout (the default; see soa.go): rows maps
+	// (node, peer) → slot into the parallel rec slabs, already sorted by
+	// peer, and the per-edge constants are interned in classes.
+	refLayout bool
+	rows      *csr.Rows
+	classes   []edgeClass
+	classIdx  map[edgeClass]int32
+	recPeer   []int32
+	recClass  []int32
+	recFlags  []uint8
+	recSince  []float64 // upSince
+	recLAtUp  []float64
+	recT0     []float64
+	recInsDur []float64
+	recKappa0 []float64
+	recCheck  []sim.Handle
 
 	minKappa float64
 	sMax     int
@@ -143,6 +162,17 @@ func (a *Algorithm) Name() string { return "aopt" }
 // so those tests (and ablation debugging) can run the literal definition.
 func (a *Algorithm) SetReferenceTriggers(ref bool) { a.refTriggers = ref }
 
+// SetReferenceLayout switches between the structure-of-arrays edge-record
+// layout (false, the default; soa.go) and the retained map-of-pointers
+// layout (true). The two are pinned byte-identical by the full-run
+// differential tests; call before Init (i.e. before the runtime Attach).
+func (a *Algorithm) SetReferenceLayout(ref bool) {
+	if a.rt != nil {
+		panic("core: SetReferenceLayout after Init")
+	}
+	a.refLayout = ref
+}
+
 // OverrideDeltaFraction repositions the slow-trigger slack δ_e at the given
 // fraction of its legal range (0, κ/2−2ε−2µτ). Fractions ≥ 1 leave the
 // legal range and are permitted only so the E12 ablation can demonstrate
@@ -165,11 +195,16 @@ func (a *Algorithm) Init(rt *runner.Runtime) {
 	for i := range a.mult {
 		a.mult[i] = 1
 	}
-	a.edges = make([]map[int]*edgeRec, a.n)
-	for i := range a.edges {
-		a.edges[i] = make(map[int]*edgeRec)
+	if a.refLayout {
+		a.edges = make([]map[int]*edgeRec, a.n)
+		for i := range a.edges {
+			a.edges[i] = make(map[int]*edgeRec)
+		}
+		a.peers = make([][]int, a.n)
+	} else {
+		a.rows = csr.NewRows(a.n)
+		a.classIdx = make(map[edgeClass]int32)
 	}
-	a.peers = make([][]int, a.n)
 	a.shardCtr = make([]modeCounters, rt.TickShards())
 	a.decideFn = a.decideShard
 	a.integrateFn = a.integrateShard
@@ -226,10 +261,14 @@ func (a *Algorithm) refreshSMax() {
 	a.sMax = s
 }
 
-// delta returns the Listing 1 waiting period Δ for an edge.
+// handshakeDelta returns the Listing 1 waiting period Δ for an edge.
 func (a *Algorithm) handshakeDelta(rec *edgeRec) float64 {
+	return a.handshakeDeltaVals(rec.delay, rec.tau)
+}
+
+func (a *Algorithm) handshakeDeltaVals(delay, tau float64) float64 {
 	p := a.p
-	return (1+p.Rho)*(1+p.Mu)*(rec.delay+rec.tau)/(1-p.Rho) + rec.tau
+	return (1+p.Rho)*(1+p.Mu)*(delay+tau)/(1-p.Rho) + tau
 }
 
 // ensureRec creates (or returns) u's record for edge {u,v}, deriving the
@@ -265,6 +304,10 @@ func (a *Algorithm) ensureRec(u, v int) *edgeRec {
 
 // OnEdgeUp implements runner.Algorithm; it is Listing 1's discovery path.
 func (a *Algorithm) OnEdgeUp(self, peer int, t sim.Time) {
+	if !a.refLayout {
+		a.onEdgeUpSlot(self, peer, t)
+		return
+	}
 	rec := a.ensureRec(self, peer)
 	if rec == nil {
 		return
@@ -287,6 +330,10 @@ func (a *Algorithm) OnEdgeUp(self, peer int, t sim.Time) {
 // OnEdgeDown implements runner.Algorithm: the node removes the peer from all
 // neighbor sets and forgets the insertion times (T_s := ⊥, Listing 1).
 func (a *Algorithm) OnEdgeDown(self, peer int, t sim.Time) {
+	if !a.refLayout {
+		a.onEdgeDownSlot(self, peer)
+		return
+	}
 	rec, ok := a.edges[self][peer]
 	if !ok {
 		return
@@ -331,6 +378,10 @@ func (a *Algorithm) scheduleLeaderCheck(self int, rec *edgeRec, discovered sim.T
 func (a *Algorithm) OnControl(to, from int, payload any, d transport.Delivery) {
 	msg, ok := payload.(insertEdgeMsg)
 	if !ok {
+		return
+	}
+	if !a.refLayout {
+		a.onControlSlot(to, from, msg, d)
 		return
 	}
 	rec, okRec := a.edges[to][from]
@@ -447,6 +498,13 @@ func (a *Algorithm) level(self int, rec *edgeRec) int {
 // EdgeLevel exposes the level of edge {u,v} as seen by u (for metrics and
 // legality snapshots). Zero when the edge is down or not yet inserted.
 func (a *Algorithm) EdgeLevel(u, v int) int {
+	if !a.refLayout {
+		slot, ok := a.rows.Find(u, int32(v))
+		if !ok {
+			return 0
+		}
+		return a.levelSlot(u, slot)
+	}
 	rec, ok := a.edges[u][v]
 	if !ok {
 		return 0
@@ -458,6 +516,13 @@ func (a *Algorithm) EdgeLevel(u, v int) int {
 // unknown). During a decaying-weight insertion this is the inflated,
 // shrinking weight; otherwise the static κ_e.
 func (a *Algorithm) EdgeKappa(u, v int) float64 {
+	if !a.refLayout {
+		slot, ok := a.rows.Find(u, int32(v))
+		if !ok {
+			return 0
+		}
+		return a.kappaAtSlot(slot, a.classes[a.recClass[slot]].kappa, a.l[u])
+	}
 	rec, ok := a.edges[u][v]
 	if !ok {
 		return 0
@@ -481,13 +546,16 @@ func (a *Algorithm) OnBeacon(to, from int, b transport.Beacon, d transport.Deliv
 	}
 }
 
-// edgeEval caches per-edge values for one reference trigger evaluation.
+// edgeEval caches per-edge values for one reference trigger evaluation. It
+// holds plain values (not a record pointer) so the reference double loop
+// runs unchanged on either edge-record layout.
 type edgeEval struct {
-	rec   *edgeRec
 	level int
 	est   float64
 	kappa float64
 	delta float64
+	eps   float64
+	tau   float64
 }
 
 // Step implements runner.Algorithm: first decide every node's mode from the
@@ -609,6 +677,9 @@ func (a *Algorithm) evalTriggers(u int, c *modeCounters) (fast, slow bool) {
 	if a.refTriggers {
 		return a.evalTriggersRef(u, c)
 	}
+	if !a.refLayout {
+		return a.evalTriggersSlot(u, c)
+	}
 	lu := a.l[u]
 	var fw, fb, sw, sb int // prefix maxima: fast/slow × witness/blocked
 	for _, peer := range a.peers[u] {
@@ -717,32 +788,63 @@ func (a *Algorithm) slowBlockedLevel(ahead, kappa, delta, eps, tau float64, top 
 
 // evalTriggersRef is the retained reference: gather per-edge values, then
 // scan every level s with the literal double loops. Kept as the oracle the
-// single-pass engine is differentially tested against. It shares the evals
-// scratch across nodes, which is why Step keeps the reference path serial.
+// single-pass engine is differentially tested against; the gather step
+// branches on the edge-record layout, the double loops do not. It shares
+// the evals scratch across nodes, which is why Step keeps the reference
+// path serial.
 func (a *Algorithm) evalTriggersRef(u int, c *modeCounters) (fast, slow bool) {
 	a.evals = a.evals[:0]
 	maxLevel := 0
-	for _, peer := range a.peers[u] {
-		rec := a.edges[u][peer]
-		if !rec.up {
-			continue
+	if a.refLayout {
+		for _, peer := range a.peers[u] {
+			rec := a.edges[u][peer]
+			if !rec.up {
+				continue
+			}
+			lvl := a.level(u, rec)
+			if lvl < 1 {
+				continue
+			}
+			est, ok := a.rt.Est.Estimate(u, rec.peer)
+			if !ok {
+				c.missing++
+				continue
+			}
+			kappa := a.kappaAt(rec, a.l[u])
+			a.evals = append(a.evals, edgeEval{
+				level: lvl, est: est,
+				kappa: kappa, delta: a.deltaAt(rec, kappa),
+				eps: rec.eps, tau: rec.tau,
+			})
+			if lvl > maxLevel {
+				maxLevel = lvl
+			}
 		}
-		lvl := a.level(u, rec)
-		if lvl < 1 {
-			continue
-		}
-		est, ok := a.rt.Est.Estimate(u, rec.peer)
-		if !ok {
-			c.missing++
-			continue
-		}
-		kappa := a.kappaAt(rec, a.l[u])
-		a.evals = append(a.evals, edgeEval{
-			rec: rec, level: lvl, est: est,
-			kappa: kappa, delta: a.deltaAt(rec, kappa),
-		})
-		if lvl > maxLevel {
-			maxLevel = lvl
+	} else {
+		peers, slots := a.rows.Row(u)
+		for i, slot := range slots {
+			if a.recFlags[slot]&recUp == 0 {
+				continue
+			}
+			lvl := a.levelSlot(u, slot)
+			if lvl < 1 {
+				continue
+			}
+			est, ok := a.rt.Est.Estimate(u, int(peers[i]))
+			if !ok {
+				c.missing++
+				continue
+			}
+			cls := &a.classes[a.recClass[slot]]
+			kappa := a.kappaAtSlot(slot, cls.kappa, a.l[u])
+			a.evals = append(a.evals, edgeEval{
+				level: lvl, est: est,
+				kappa: kappa, delta: a.deltaAtClass(cls, kappa),
+				eps: cls.eps, tau: cls.tau,
+			})
+			if lvl > maxLevel {
+				maxLevel = lvl
+			}
 		}
 	}
 	return a.fastTriggerRef(u, maxLevel), a.slowTriggerRef(u, maxLevel)
@@ -764,10 +866,10 @@ func (a *Algorithm) fastTriggerRef(u, maxLevel int) bool {
 			if ev.level < s {
 				continue
 			}
-			if ev.est-lu >= fs*ev.kappa-ev.rec.eps {
+			if ev.est-lu >= fs*ev.kappa-ev.eps {
 				witness = true
 			}
-			if lu-ev.est > fs*ev.kappa+2*a.p.Mu*ev.rec.tau+ev.rec.eps {
+			if lu-ev.est > fs*ev.kappa+2*a.p.Mu*ev.tau+ev.eps {
 				blocked = true
 				break
 			}
@@ -796,10 +898,10 @@ func (a *Algorithm) slowTriggerRef(u, maxLevel int) bool {
 			if ev.level < s {
 				continue
 			}
-			if lu-ev.est >= fs*ev.kappa-ev.delta-ev.rec.eps {
+			if lu-ev.est >= fs*ev.kappa-ev.delta-ev.eps {
 				witness = true
 			}
-			if ev.est-lu > fs*ev.kappa+ev.delta+ev.rec.eps+a.p.Mu*(1+a.p.Rho)*ev.rec.tau {
+			if ev.est-lu > fs*ev.kappa+ev.delta+ev.eps+a.p.Mu*(1+a.p.Rho)*ev.tau {
 				blocked = true
 				break
 			}

@@ -151,8 +151,11 @@ func TestDynamicEdgeInsertionLifecycle(t *testing.T) {
 	if h.algo.Insertions != 2 {
 		t.Fatalf("insertions = %d, want 2 (both endpoints)", h.algo.Insertions)
 	}
-	recU := h.algo.edges[0][1]
-	recV := h.algo.edges[1][0]
+	recU, okU := h.algo.recView(0, 1)
+	recV, okV := h.algo.recView(1, 0)
+	if !okU || !okV {
+		t.Fatal("edge records missing after handshake")
+	}
 	if !recU.haveTimes || !recV.haveTimes {
 		t.Fatal("insertion times missing after handshake")
 	}
@@ -203,7 +206,7 @@ func TestEdgeLossClearsInsertion(t *testing.T) {
 	if h.algo.EdgeLevel(0, 1) != 0 || h.algo.EdgeLevel(1, 0) != 0 {
 		t.Error("edge level nonzero after loss")
 	}
-	if h.algo.edges[0][1].haveTimes {
+	if rec, ok := h.algo.recView(0, 1); ok && rec.haveTimes {
 		t.Error("insertion times survived edge loss (T_s must become ⊥)")
 	}
 }
@@ -380,7 +383,10 @@ func TestDecayingInsertionLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	h.rt.Run(5) // handshake done; decay scheduled from L_ins ≈ L+G̃
-	rec := h.algo.edges[0][1]
+	rec, okRec := h.algo.recView(0, 1)
+	if !okRec {
+		t.Fatal("edge record missing after handshake")
+	}
 	if !rec.haveTimes || !rec.decaying {
 		t.Fatal("decaying schedule not agreed after handshake")
 	}

@@ -12,7 +12,7 @@ import (
 
 // benchRuntime wires a 32-node line running AOPT with the oracle estimate
 // layer and warms it up until all edges participate in trigger evaluation.
-func benchRuntime(b *testing.B) (*runner.Runtime, *core.Algorithm) {
+func benchRuntime(b testing.TB) (*runner.Runtime, *core.Algorithm) {
 	b.Helper()
 	const n = 32
 	rt, err := runner.New(runner.Config{
@@ -60,4 +60,36 @@ func BenchmarkCoreStep(b *testing.B) {
 		t += 0.02
 		algo.Step(t, dH)
 	}
+}
+
+// BenchmarkNeighborLevels measures per-node level sampling through the
+// append-into-slice variant with a reused scratch buffer; 0 allocs/op. The
+// map-returning NeighborLevels allocates on every call and must stay off
+// per-tick paths.
+func BenchmarkNeighborLevels(b *testing.B) {
+	rt, algo := benchRuntime(b)
+	var scratch []core.NeighborLevel
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch = algo.AppendNeighborLevels(i%rt.N(), scratch[:0])
+	}
+}
+
+// TestAppendNeighborLevelsNoAllocs pins the 0-allocation contract outside
+// benchmark runs, so `go test` alone catches a regression.
+func TestAppendNeighborLevelsNoAllocs(t *testing.T) {
+	rt, algo := benchRuntime(t)
+	var scratch []core.NeighborLevel
+	scratch = algo.AppendNeighborLevels(1, scratch[:0]) // grow once
+	allocs := testing.AllocsPerRun(100, func() {
+		scratch = algo.AppendNeighborLevels(1, scratch[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendNeighborLevels allocates %v per call, want 0", allocs)
+	}
+	if len(scratch) == 0 {
+		t.Fatal("no visible neighbors sampled")
+	}
+	_ = rt
 }

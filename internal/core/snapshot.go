@@ -32,14 +32,42 @@ func (a *Algorithm) Snapshot() *analysis.Snapshot {
 	return snap
 }
 
+// NeighborLevel is one (peer, level) entry of a node's visible adjacency.
+type NeighborLevel struct {
+	Peer  int
+	Level int
+}
+
+// AppendNeighborLevels appends the level of every visible edge at node u to
+// dst in ascending peer order and returns the slice. With a reused scratch
+// buffer it is allocation-free (pinned by BenchmarkNeighborLevels); callers
+// that sample levels every tick must use this instead of NeighborLevels.
+func (a *Algorithm) AppendNeighborLevels(u int, dst []NeighborLevel) []NeighborLevel {
+	if a.refLayout {
+		for _, peer := range a.peers[u] {
+			rec := a.edges[u][peer]
+			if rec.up {
+				dst = append(dst, NeighborLevel{Peer: peer, Level: a.level(u, rec)})
+			}
+		}
+		return dst
+	}
+	peers, slots := a.rows.Row(u)
+	for i, slot := range slots {
+		if a.recFlags[slot]&recUp != 0 {
+			dst = append(dst, NeighborLevel{Peer: int(peers[i]), Level: a.levelSlot(u, slot)})
+		}
+	}
+	return dst
+}
+
 // NeighborLevels reports, for diagnostics, the level of every visible edge
-// at node u as a peer→level map.
+// at node u as a peer→level map. It allocates the map (and, transiently,
+// the pair slice) on every call — use AppendNeighborLevels on hot paths.
 func (a *Algorithm) NeighborLevels(u int) map[int]int {
 	out := make(map[int]int)
-	for peer, rec := range a.edges[u] {
-		if rec.up {
-			out[peer] = a.level(u, rec)
-		}
+	for _, nl := range a.AppendNeighborLevels(u, nil) {
+		out[nl.Peer] = nl.Level
 	}
 	return out
 }
@@ -49,7 +77,7 @@ func (a *Algorithm) NeighborLevels(u int) map[int]int {
 // is agreed). Used by the Section 7 experiments to compare insertion
 // durations across global-skew estimates.
 func (a *Algorithm) InsertionInfo(u, v int) (t0, insDur float64, ok bool) {
-	rec, okRec := a.edges[u][v]
+	rec, okRec := a.recView(u, v)
 	if !okRec || !rec.haveTimes {
 		return 0, 0, false
 	}

@@ -24,7 +24,15 @@ func BenchmarkMessagingInvalidate(b *testing.B) {
 				Rho: 0.002, Mu: 0.1, BeaconInterval: 0.25, TickSlop: 0.04,
 			})
 			// Ring samples: every node holds beacons from both neighbors, so
-			// the invalidated node's map has the degree the scale tiers see.
+			// the invalidated node's row has the degree the scale tiers see.
+			// Links must be declared first — the flat layout registers its
+			// sample slots at declare time and drops beacons on undeclared
+			// edges.
+			for u := 0; u < n; u++ {
+				if err := dyn.DeclareLink(u, (u+1)%n, topo.DefaultLinkParams()); err != nil {
+					b.Fatalf("declare: %v", err)
+				}
+			}
 			for u := 0; u < n; u++ {
 				for _, v := range []int{(u + 1) % n, (u + n - 1) % n} {
 					m.RecordBeacon(u, v, transport.Beacon{L: 1}, transport.Delivery{MinTransit: 0.1})

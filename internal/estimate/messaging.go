@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"repro/internal/csr"
 	"repro/internal/topo"
 	"repro/internal/transport"
 )
@@ -24,6 +25,10 @@ type MessagingConfig struct {
 	// Centered shifts estimates up by half the one-sided error bound so the
 	// certified error becomes symmetric and half as large.
 	Centered bool
+	// ReferenceLayout selects the map-backed sample store instead of the
+	// default flat CSR sample slabs. Kept for differential pinning
+	// (TestMessagingLayoutDifferential); see DESIGN.md §Structure-of-arrays.
+	ReferenceLayout bool
 }
 
 // sample is the last beacon received on a directed edge.
@@ -45,8 +50,16 @@ type Messaging struct {
 	dyn *topo.Dynamic
 	cfg MessagingConfig
 	hw  func(int) float64
-	// samples[u] maps peer → latest sample.
+	// samples[u] maps peer → latest sample (reference layout only).
 	samples []map[int]*sample
+	// Flat layout (default): rows[u] maps peer → slot into the parallel
+	// sample slabs below. Rows are pre-registered when links are declared
+	// (declares are serial engine/scenario operations), so RecordBeacon —
+	// which runs concurrently for distinct receivers under the sharded
+	// event drain — never mutates the row structure, only its own slots.
+	rows                           *csr.Rows
+	smLSent, smHwAtRecv, smTransit []float64
+	smValid                        []uint8
 	// Misses counts estimate queries that found no certified sample. It is
 	// incremented atomically: Estimate runs concurrently for distinct u
 	// under the sharded tick, and an atomic sum is the one per-query effect
@@ -55,38 +68,90 @@ type Messaging struct {
 }
 
 // NewMessaging creates the layer for n nodes. hw returns a node's current
-// hardware clock.
+// hardware clock. In the default flat layout the layer registers a sample
+// slot for every link already declared on dyn and subscribes to future
+// declares, so beacon ingestion never grows the adjacency structure.
 func NewMessaging(n int, dyn *topo.Dynamic, hw func(int) float64, cfg MessagingConfig) *Messaging {
-	s := make([]map[int]*sample, n)
-	for i := range s {
-		s[i] = make(map[int]*sample)
+	m := &Messaging{dyn: dyn, cfg: cfg, hw: hw}
+	if cfg.ReferenceLayout {
+		m.samples = make([]map[int]*sample, n)
+		for i := range m.samples {
+			m.samples[i] = make(map[int]*sample)
+		}
+		return m
 	}
-	return &Messaging{dyn: dyn, cfg: cfg, hw: hw, samples: s}
+	m.rows = csr.NewRows(n)
+	var ids []topo.EdgeID
+	for _, id := range dyn.DeclaredEdges(ids) {
+		m.register(id.U, id.V)
+	}
+	dyn.OnDeclare(m.register)
+	return m
+}
+
+// register reserves sample slots for both directions of a newly declared
+// link. Re-declares after an undeclare keep their old slots (the stale
+// sample is unobservable until a beacon crosses the revived edge, exactly
+// as the reference map keeps its entry).
+func (m *Messaging) register(a, b int) {
+	for _, d := range [2][2]int{{a, b}, {b, a}} {
+		u, v := d[0], d[1]
+		if _, ok := m.rows.Find(u, int32(v)); ok {
+			continue
+		}
+		slot := int32(len(m.smValid))
+		m.smLSent = append(m.smLSent, 0)
+		m.smHwAtRecv = append(m.smHwAtRecv, 0)
+		m.smTransit = append(m.smTransit, 0)
+		m.smValid = append(m.smValid, 0)
+		m.rows.Insert(u, int32(v), slot)
+	}
 }
 
 // RecordBeacon ingests a delivered beacon; the runner calls this for every
 // beacon delivery.
 func (m *Messaging) RecordBeacon(to, from int, b transport.Beacon, d transport.Delivery) {
-	sm, ok := m.samples[to][from]
-	if !ok {
-		sm = &sample{}
-		m.samples[to][from] = sm
+	if m.samples != nil {
+		sm, ok := m.samples[to][from]
+		if !ok {
+			sm = &sample{}
+			m.samples[to][from] = sm
+		}
+		sm.lSent = b.L
+		sm.hwAtRecv = m.hw(to)
+		sm.minTransit = d.MinTransit
+		sm.valid = true
+		return
 	}
-	sm.lSent = b.L
-	sm.hwAtRecv = m.hw(to)
-	sm.minTransit = d.MinTransit
-	sm.valid = true
+	slot, ok := m.rows.Find(to, int32(from))
+	if !ok {
+		// A beacon on a never-declared edge is unobservable (Estimate gates
+		// on dyn.Sees, which requires a declared link), so dropping it here
+		// is behaviorally identical to the reference map's orphan entry —
+		// and keeps this concurrent path free of structural mutation.
+		return
+	}
+	m.smLSent[slot] = b.L
+	m.smHwAtRecv[slot] = m.hw(to)
+	m.smTransit[slot] = d.MinTransit
+	m.smValid[slot] = 1
 }
 
 // Invalidate drops the sample for a directed edge (called on edge loss, so a
-// stale pre-outage sample is never reused after a reappearance). It is a
-// single index lookup on u's own sample map — O(1) in both the node count
-// and u's degree, and allocation-free — so EdgeDown storms (churn waves,
-// partitions) cost exactly one map probe per lost directed edge;
+// stale pre-outage sample is never reused after a reappearance). It is one
+// probe on u's own sample row — O(deg u), independent of the network size,
+// and allocation-free — so EdgeDown storms (churn waves, partitions) cost
+// one short sorted scan per lost directed edge;
 // BenchmarkMessagingInvalidate pins both properties across network sizes.
 func (m *Messaging) Invalidate(u, v int) {
-	if sm, ok := m.samples[u][v]; ok {
-		sm.valid = false
+	if m.samples != nil {
+		if sm, ok := m.samples[u][v]; ok {
+			sm.valid = false
+		}
+		return
+	}
+	if slot, ok := m.rows.Find(u, int32(v)); ok {
+		m.smValid[slot] = 0
 	}
 }
 
@@ -103,28 +168,39 @@ func (m *Messaging) Estimate(u, v int) (float64, bool) {
 	if !m.dyn.Sees(u, v) {
 		return 0, false
 	}
-	sm, ok := m.samples[u][v]
-	if !ok || !sm.valid {
-		atomic.AddUint64(&m.Misses, 1)
-		return 0, false
+	var lSent, hwAtRecv, minTransit float64
+	if m.samples != nil {
+		sm, ok := m.samples[u][v]
+		if !ok || !sm.valid {
+			atomic.AddUint64(&m.Misses, 1)
+			return 0, false
+		}
+		lSent, hwAtRecv, minTransit = sm.lSent, sm.hwAtRecv, sm.minTransit
+	} else {
+		slot, ok := m.rows.Find(u, int32(v))
+		if !ok || m.smValid[slot] == 0 {
+			atomic.AddUint64(&m.Misses, 1)
+			return 0, false
+		}
+		lSent, hwAtRecv, minTransit = m.smLSent[slot], m.smHwAtRecv[slot], m.smTransit[slot]
 	}
 	p, ok := m.dyn.Params(u, v)
 	if !ok {
 		return 0, false
 	}
 	rho := m.cfg.Rho
-	ageHW := m.hw(u) - sm.hwAtRecv
+	ageHW := m.hw(u) - hwAtRecv
 	if ageHW < 0 || ageHW > m.maxSampleAgeHW(p) {
 		atomic.AddUint64(&m.Misses, 1)
 		return 0, false
 	}
 	// The transit credit covers only fully elapsed integration ticks
 	// (clocks advance in steps); TickSlop compensates.
-	credit := sm.minTransit - m.cfg.TickSlop
+	credit := minTransit - m.cfg.TickSlop
 	if credit < 0 {
 		credit = 0
 	}
-	est := sm.lSent + (1-rho)*credit + (1-rho)/(1+rho)*ageHW
+	est := lSent + (1-rho)*credit + (1-rho)/(1+rho)*ageHW
 	if m.cfg.Centered {
 		est += m.oneSidedBound(p) / 2
 	}

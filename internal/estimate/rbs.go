@@ -3,6 +3,7 @@ package estimate
 import (
 	"fmt"
 
+	"repro/internal/csr"
 	"repro/internal/sim"
 	"repro/internal/topo"
 )
@@ -27,6 +28,10 @@ type RBSConfig struct {
 	ExchangeDelay float64
 	// TickSlop absorbs discrete integration (≈ 2 ticks).
 	TickSlop float64
+	// ReferenceLayout selects the map-backed co-listener/sample store
+	// instead of the default flat CSR slabs (differential pinning; see
+	// DESIGN.md §Structure-of-arrays).
+	ReferenceLayout bool
 }
 
 func (c RBSConfig) validate() error {
@@ -64,11 +69,18 @@ type RBS struct {
 	logical func(int) float64
 	// groups[s] is the listener set of reference source s.
 	groups [][]int
-	// coListener[u][v] marks pairs sharing at least one source.
+	// Reference layout: coListener[u][v] marks pairs sharing at least one
+	// source; samples[u][v] is the latest anchored sample u holds about v.
 	coListener []map[int]bool
-	// samples[u][v] is the latest anchored sample u holds about v.
-	samples []map[int]*rbsSample
-	started bool
+	samples    []map[int]*rbsSample
+	// Flat layout (default): rows[u] maps co-listener → slot into the
+	// parallel sample slabs. The co-listener relation is static, so rows
+	// are fully built at construction; broadcast exchanges and
+	// invalidations only write slots.
+	rows                  *csr.Rows
+	rbLAtEvent, rbHwAtOwn []float64
+	rbValid               []uint8
+	started               bool
 	// Broadcasts counts emitted reference broadcasts.
 	Broadcasts uint64
 }
@@ -91,11 +103,15 @@ func NewRBS(n int, engine *sim.Engine, dyn *topo.Dynamic, rng *sim.RNG,
 		logical: logical,
 		groups:  groups,
 	}
-	r.coListener = make([]map[int]bool, n)
-	r.samples = make([]map[int]*rbsSample, n)
-	for i := 0; i < n; i++ {
-		r.coListener[i] = make(map[int]bool)
-		r.samples[i] = make(map[int]*rbsSample)
+	if cfg.ReferenceLayout {
+		r.coListener = make([]map[int]bool, n)
+		r.samples = make([]map[int]*rbsSample, n)
+		for i := 0; i < n; i++ {
+			r.coListener[i] = make(map[int]bool)
+			r.samples[i] = make(map[int]*rbsSample)
+		}
+	} else {
+		r.rows = csr.NewRows(n)
 	}
 	for _, g := range groups {
 		for _, u := range g {
@@ -103,9 +119,22 @@ func NewRBS(n int, engine *sim.Engine, dyn *topo.Dynamic, rng *sim.RNG,
 				return nil, fmt.Errorf("estimate: RBS listener %d out of range", u)
 			}
 			for _, v := range g {
-				if u != v {
-					r.coListener[u][v] = true
+				if u == v {
+					continue
 				}
+				if cfg.ReferenceLayout {
+					r.coListener[u][v] = true
+					continue
+				}
+				// Overlapping groups revisit pairs; keep the first slot.
+				if _, ok := r.rows.Find(u, int32(v)); ok {
+					continue
+				}
+				slot := int32(len(r.rbValid))
+				r.rbLAtEvent = append(r.rbLAtEvent, 0)
+				r.rbHwAtOwn = append(r.rbHwAtOwn, 0)
+				r.rbValid = append(r.rbValid, 0)
+				r.rows.Insert(u, int32(v), slot)
 			}
 		}
 	}
@@ -162,14 +191,22 @@ func (r *RBS) broadcast(s int) {
 				if to == nil || to.node == from.node {
 					continue
 				}
-				sm, ok := r.samples[to.node][from.node]
-				if !ok {
-					sm = &rbsSample{}
-					r.samples[to.node][from.node] = sm
+				if r.samples != nil {
+					sm, ok := r.samples[to.node][from.node]
+					if !ok {
+						sm = &rbsSample{}
+						r.samples[to.node][from.node] = sm
+					}
+					sm.lAtEvent = from.lAtRecv
+					sm.hwAtOwnEvent = to.hwAtRecv
+					sm.valid = true
+					continue
 				}
-				sm.lAtEvent = from.lAtRecv
-				sm.hwAtOwnEvent = to.hwAtRecv
-				sm.valid = true
+				// Co-listeners always have a pre-built slot.
+				slot, _ := r.rows.Find(to.node, int32(from.node))
+				r.rbLAtEvent[slot] = from.lAtRecv
+				r.rbHwAtOwn[slot] = to.hwAtRecv
+				r.rbValid[slot] = 1
 			}
 		}
 	})
@@ -186,21 +223,35 @@ func (r *RBS) maxSampleAgeHW() float64 {
 // common broadcast. The anchor removes all message-delay uncertainty; only
 // the reception jitter is subtracted.
 func (r *RBS) Estimate(u, v int) (float64, bool) {
-	if !r.coListener[u][v] || (r.dyn != nil && !r.dyn.Sees(u, v)) {
-		return 0, false
-	}
-	sm, ok := r.samples[u][v]
-	if !ok || !sm.valid {
-		return 0, false
+	var lAtEvent, hwAtOwnEvent float64
+	if r.samples != nil {
+		if !r.coListener[u][v] || (r.dyn != nil && !r.dyn.Sees(u, v)) {
+			return 0, false
+		}
+		sm, ok := r.samples[u][v]
+		if !ok || !sm.valid {
+			return 0, false
+		}
+		lAtEvent, hwAtOwnEvent = sm.lAtEvent, sm.hwAtOwnEvent
+	} else {
+		// One row probe yields both the co-listener test and the sample.
+		slot, ok := r.rows.Find(u, int32(v))
+		if !ok || (r.dyn != nil && !r.dyn.Sees(u, v)) {
+			return 0, false
+		}
+		if r.rbValid[slot] == 0 {
+			return 0, false
+		}
+		lAtEvent, hwAtOwnEvent = r.rbLAtEvent[slot], r.rbHwAtOwn[slot]
 	}
 	rho := r.cfg.Rho
-	ageHW := r.hw(u) - sm.hwAtOwnEvent
+	ageHW := r.hw(u) - hwAtOwnEvent
 	if ageHW < 0 || ageHW > r.maxSampleAgeHW() {
 		return 0, false
 	}
 	// v may have heard the broadcast up to Jitter later than u; subtracting
 	// (1−ρ)(J+slop) keeps the estimate a lower bound on L_v(now).
-	return sm.lAtEvent + (1-rho)/(1+rho)*ageHW - (1-rho)*(r.cfg.Jitter+r.cfg.TickSlop), true
+	return lAtEvent + (1-rho)/(1+rho)*ageHW - (1-rho)*(r.cfg.Jitter+r.cfg.TickSlop), true
 }
 
 // Eps implements Layer: jitter cost both ways plus the staleness window at
@@ -217,8 +268,14 @@ func (r *RBS) Eps(u, v int) float64 {
 
 // Invalidate drops u's sample about v (edge loss).
 func (r *RBS) Invalidate(u, v int) {
-	if sm, ok := r.samples[u][v]; ok {
-		sm.valid = false
+	if r.samples != nil {
+		if sm, ok := r.samples[u][v]; ok {
+			sm.valid = false
+		}
+		return
+	}
+	if slot, ok := r.rows.Find(u, int32(v)); ok {
+		r.rbValid[slot] = 0
 	}
 }
 
@@ -228,4 +285,10 @@ func (r *RBS) Invalidate(u, v int) {
 func (r *RBS) ConcurrentQueries() bool { return true }
 
 // CoListeners reports whether u and v share a reference source.
-func (r *RBS) CoListeners(u, v int) bool { return r.coListener[u][v] }
+func (r *RBS) CoListeners(u, v int) bool {
+	if r.coListener != nil {
+		return r.coListener[u][v]
+	}
+	_, ok := r.rows.Find(u, int32(v))
+	return ok
+}

@@ -107,6 +107,32 @@ func e16Cases(quick bool) []scaleCase {
 			},
 			connected: true,
 		})
+
+		// The N=10⁷ rung, nightly-only: the structure-of-arrays feasibility
+		// row. Ten million nodes fit only because per-node state is flat
+		// slabs (≈300 B/node at ring degree 2, vs ≈1 KB on the retired map
+		// layout — see the mem footer); the horizon is the shortest that
+		// still drives every chord through a full churn cycle.
+		ring10M := 10000000
+		chords10M := make([]scenario.Pair, 0, 64)
+		for i := 0; i < 64; i++ {
+			u := i * (ring10M / 2) / 64
+			chords10M = append(chords10M, scenario.Pair{u, u + ring10M/2})
+		}
+		cases = append(cases, scaleCase{
+			name: "ring-10M", n: ring10M, horizon: 2,
+			build: func() (gradsync.Topology, int, gradsync.Scenario, func() (int, error)) {
+				c := &scenario.Churn{Every: 1.5, Pairs: chords10M}
+				return gradsync.RingTopology(ring10M), ring10M / 2, c,
+					func() (int, error) { return c.Toggles, c.Err }
+			},
+			checkDistances: []int{1, 64, 4096},
+			pairFor: func(sample, d int) (int, int) {
+				u := sample * 997 % ring10M
+				return u, (u + d) % ring10M
+			},
+			connected: true,
+		})
 	}
 	return cases
 }
@@ -125,7 +151,7 @@ func E16ExtremeScale(spec Spec) *Result {
 	runScaleTier(r, spec, 16, "extreme-scale tier × substrate load and gradient legality",
 		horizon, e16Cases(spec.Quick))
 	if e16LargeTier {
-		r.Notef("large build: the full tier runs N=10⁵ per topology plus the ring-1M feasibility row (N=10⁶, sharded tick, horizon 4)")
+		r.Notef("large build: the full tier runs N=10⁵ per topology plus the ring-1M (N=10⁶, horizon 4) and ring-10M (N=10⁷, horizon 2) feasibility rows on the sharded tick")
 	} else {
 		r.Notef("default build caps the full tier at N=2·10⁴; compile with -tags large (nightly workflow) for the N=10⁵ rung")
 	}

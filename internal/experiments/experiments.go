@@ -41,6 +41,11 @@ type Spec struct {
 	// only, never results — the sharded drain is byte-identical for every
 	// shard count.
 	EventParallelism int
+	// ReferenceLayout runs the scale-tier networks (E15, E16) on the
+	// retired map-backed storage instead of the default
+	// structure-of-arrays; results are byte-identical (pinned by the layout
+	// differential tests), only the memory footprint differs.
+	ReferenceLayout bool
 }
 
 // TickShards resolves the effective tick parallelism for the scale tiers.
@@ -77,11 +82,23 @@ type Result struct {
 	Pass   bool
 	// Failures lists shape assertions that did not hold.
 	Failures []string
+	// MemNotes carries machine-dependent memory measurements (live heap,
+	// bytes/node) from the scale tiers. They are deliberately EXCLUDED from
+	// String(): the rendered report must stay byte-identical across
+	// machines, shard counts and storage layouts (the determinism tests
+	// compare it verbatim). cmd/experiments prints them as separate
+	// `=== mem` footer lines instead.
+	MemNotes []string
 }
 
 // Notef appends a formatted note.
 func (r *Result) Notef(format string, args ...any) {
 	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// MemNotef appends a formatted memory-footer note (see MemNotes).
+func (r *Result) MemNotef(format string, args ...any) {
+	r.MemNotes = append(r.MemNotes, fmt.Sprintf(format, args...))
 }
 
 // failf records a failed shape assertion.

@@ -75,5 +75,8 @@ func mergeReplicas(results []*Result, seeds []int64, spec Spec) *Result {
 	}
 	agg.Notef("aggregated over %d seeds derived from root seed %d (varying cells: mean±std)",
 		len(results), spec.Seed)
+	// Memory footers are machine-dependent measurements, not claims; one
+	// replica's figures are representative, so carry replica 0's.
+	agg.MemNotes = append(agg.MemNotes, first.MemNotes...)
 	return agg
 }

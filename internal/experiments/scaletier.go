@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"runtime"
+
 	gradsync "repro"
 	"repro/internal/metrics"
 )
@@ -61,6 +63,7 @@ func runScaleTier(r *Result, spec Spec, tierID int64, tierTitle string, horizon 
 			TickParallelism:  spec.TickShards(),
 			EventParallelism: spec.EventShards(),
 			Seed:             spec.SeedFor(tierID, int64(ci)),
+			ReferenceLayout:  spec.ReferenceLayout,
 		})
 
 		maxGlobal := 0.0
@@ -97,6 +100,18 @@ func runScaleTier(r *Result, spec Spec, tierID int64, tierTitle string, horizon 
 			r.assert(maxGlobal <= net.GTilde(), "%s: global skew %.3f exceeded G̃ %.3f", c.name, maxGlobal, net.GTilde())
 		}
 		r.Table.AddRow(c.name, c.n, scEvents, events, maxGlobal, net.GTilde(), worstRatio)
+
+		// Memory footer: the live heap with the whole network still
+		// reachable, after a forced collection. Machine- and
+		// process-dependent, so it lands in MemNotes (excluded from the
+		// deterministic report body) — the per-node figure is the tracking
+		// metric for the structure-of-arrays memory diet.
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		r.MemNotef("%s: N=%d live heap %.1f MiB (%.0f B/node)",
+			c.name, c.n, float64(ms.HeapAlloc)/(1<<20), float64(ms.HeapAlloc)/float64(c.n))
+		runtime.KeepAlive(net)
 
 		if c.name == "ring" {
 			ringDist = c.checkDistances

@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/csr"
 	"repro/internal/sim"
 )
 
@@ -35,6 +36,8 @@ func DefaultLinkParams() LinkParams {
 // Validate reports whether the parameters are internally consistent.
 func (p LinkParams) Validate() error {
 	switch {
+	case math.IsNaN(p.Eps) || math.IsNaN(p.Tau) || math.IsNaN(p.Delay) || math.IsNaN(p.Uncertainty):
+		return fmt.Errorf("topo: link parameters must not be NaN, got %+v", p)
 	case p.Eps <= 0:
 		return fmt.Errorf("topo: Eps must be positive, got %v", p.Eps)
 	case p.Tau < 0:
@@ -66,6 +69,9 @@ func (e EdgeID) Other(u int) int {
 	return e.U
 }
 
+// pack is the compact index-map key for a canonical edge (U < V).
+func (e EdgeID) pack() uint64 { return uint64(uint32(e.U))<<32 | uint64(uint32(e.V)) }
+
 // Listener receives per-endpoint visibility transitions. self is the node
 // whose directed edge (self, peer) changed.
 type Listener interface {
@@ -73,7 +79,8 @@ type Listener interface {
 	EdgeDown(self, peer int, t sim.Time)
 }
 
-// edge holds the dynamic state of one undirected edge.
+// edge holds the dynamic state of one undirected edge in the reference
+// (map-backed) layout.
 type edge struct {
 	id     EdgeID
 	params LinkParams
@@ -93,37 +100,105 @@ func (e *edge) side(u int) int {
 	return 1
 }
 
+// refGraph is the retained map-of-pointers layout: one heap object per edge
+// plus per-node adjacency maps. It is the executable specification the
+// structure-of-arrays layout is differentially pinned against.
+type refGraph struct {
+	edges map[EdgeID]*edge
+	adj   []map[int]*edge
+}
+
+// churnState is the transition bookkeeping of one slab edge. It is created
+// lazily on the first scheduled (lagged) transition, so edges that never
+// churn — the overwhelming majority at scale — pay nothing for it, and a
+// steady-state flap cycle reuses the two apply closures without allocating.
+type churnState struct {
+	pending [2]sim.Handle
+	want    [2]bool
+	apply   [2]func(sim.Time)
+}
+
+// Side-visibility bits of the slab layout's eUp bytes.
+const (
+	upU uint8 = 1 << 0 // directed edge (U → sees V)
+	upV uint8 = 1 << 1
+)
+
 // Dynamic is the dynamic estimate graph.
+//
+// The default layout is structure-of-arrays (DESIGN.md §Structure-of-arrays
+// layout): every declared edge owns a stable int32 slot in flat parallel
+// slabs (endpoints, interned parameter class, visibility bits, up-since
+// times), per-node adjacency is a csr.Rows mapping peer → slot, and the only
+// remaining keyed lookup — Declare and the scenario edge toggles — goes
+// through one compact packed-EdgeID → slot map off the hot path. Hot reads
+// (Sees, Params, Neighbors, AgeBoth) scan one contiguous sorted row.
+// SetReferenceLayout(true) switches to the retained map-backed layout; the
+// two are pinned byte-identical by differential and fuzz tests.
 type Dynamic struct {
 	n        int
 	engine   *sim.Engine
 	rng      *sim.RNG
 	listener Listener
-	edges    map[EdgeID]*edge
-	adj      []map[int]*edge
 	// minTransit is the minimum Delay−Uncertainty over every link ever
 	// declared — the conservative lookahead the sharded event drain windows
 	// on. It only ratchets down (a re-declare that raises a link's transit
 	// does not raise the bound), which keeps it sound without rescanning:
 	// the true minimum over declared links can never be below it.
 	minTransit float64
+	// onDeclare hooks run after each newly declared link (never for
+	// re-declares); the estimate layers use them to pre-register sample
+	// slots so beacon ingestion stays structurally read-only.
+	onDeclare []func(a, b int)
+
+	// Structure-of-arrays layout (nil ref).
+	idx      map[uint64]int32 // packed canonical EdgeID → slot; control path only
+	adj      *csr.Rows        // (node, peer) → slot
+	slots    csr.FreeList
+	eU, eV   []int32
+	eClass   []int32 // index into classes
+	eUp      []uint8 // upU | upV visibility bits
+	eSince   [][2]sim.Time
+	classes  []LinkParams // interned parameter classes
+	classIdx map[LinkParams]int32
+	churn    map[int32]*churnState // lazily allocated transition state
+
+	// Reference layout (non-nil when SetReferenceLayout(true)).
+	ref *refGraph
 }
 
 // NewDynamic creates a graph over n nodes with no edges. The listener may be
 // nil (useful in tests); SetListener installs it later.
 func NewDynamic(n int, engine *sim.Engine, rng *sim.RNG) *Dynamic {
-	adj := make([]map[int]*edge, n)
-	for i := range adj {
-		adj[i] = make(map[int]*edge)
-	}
 	return &Dynamic{
 		n:          n,
 		engine:     engine,
 		rng:        rng,
-		edges:      make(map[EdgeID]*edge),
-		adj:        adj,
+		idx:        make(map[uint64]int32),
+		adj:        csr.NewRows(n),
+		classIdx:   make(map[LinkParams]int32),
+		churn:      make(map[int32]*churnState),
 		minTransit: math.Inf(1),
 	}
+}
+
+// SetReferenceLayout switches between the structure-of-arrays layout (false,
+// the default) and the retained map-backed layout (true). The differential
+// tests pin the two byte-identical; the switch must be thrown before any
+// link is declared.
+func (d *Dynamic) SetReferenceLayout(ref bool) {
+	if d.slots.Cap() != 0 || (d.ref != nil && len(d.ref.edges) > 0) {
+		panic("topo: SetReferenceLayout after links were declared")
+	}
+	if !ref {
+		d.ref = nil
+		return
+	}
+	adj := make([]map[int]*edge, d.n)
+	for i := range adj {
+		adj[i] = make(map[int]*edge)
+	}
+	d.ref = &refGraph{edges: make(map[EdgeID]*edge), adj: adj}
 }
 
 // MinTransit returns the minimum Delay−Uncertainty over all links ever
@@ -135,8 +210,24 @@ func (d *Dynamic) MinTransit() float64 { return d.minTransit }
 // SetListener installs the visibility-transition listener.
 func (d *Dynamic) SetListener(l Listener) { d.listener = l }
 
+// OnDeclare registers a hook invoked after every newly declared link (not
+// for re-declares). Declares only happen in serial contexts (construction
+// and global scenario events), so hooks may mutate shared structures.
+func (d *Dynamic) OnDeclare(fn func(a, b int)) { d.onDeclare = append(d.onDeclare, fn) }
+
 // N returns the number of nodes.
 func (d *Dynamic) N() int { return d.n }
+
+// classOf interns the parameter class, returning its index.
+func (d *Dynamic) classOf(p LinkParams) int32 {
+	if ci, ok := d.classIdx[p]; ok {
+		return ci
+	}
+	ci := int32(len(d.classes))
+	d.classes = append(d.classes, p)
+	d.classIdx[p] = ci
+	return ci
+}
 
 // DeclareLink registers the parameters of a potential edge. A link must be
 // declared before it can appear. Re-declaring an existing link while it is
@@ -155,76 +246,215 @@ func (d *Dynamic) DeclareLink(a, b int, p LinkParams) error {
 	if mt := p.Delay - p.Uncertainty; mt < d.minTransit {
 		d.minTransit = mt
 	}
-	if ex, ok := d.edges[id]; ok {
-		ex.params = p
+	if d.ref != nil {
+		if ex, ok := d.ref.edges[id]; ok {
+			ex.params = p
+			return nil
+		}
+		e := &edge{id: id, params: p}
+		d.ref.edges[id] = e
+		d.ref.adj[id.U][id.V] = e
+		d.ref.adj[id.V][id.U] = e
+	} else {
+		if slot, ok := d.idx[id.pack()]; ok {
+			d.eClass[slot] = d.classOf(p)
+			return nil
+		}
+		slot := d.slots.Alloc()
+		if int(slot) == len(d.eU) {
+			d.eU = append(d.eU, 0)
+			d.eV = append(d.eV, 0)
+			d.eClass = append(d.eClass, 0)
+			d.eUp = append(d.eUp, 0)
+			d.eSince = append(d.eSince, [2]sim.Time{})
+		}
+		d.eU[slot] = int32(id.U)
+		d.eV[slot] = int32(id.V)
+		d.eClass[slot] = d.classOf(p)
+		d.eUp[slot] = 0
+		d.eSince[slot] = [2]sim.Time{}
+		d.adj.Insert(id.U, int32(id.V), slot)
+		d.adj.Insert(id.V, int32(id.U), slot)
+		d.idx[id.pack()] = slot
+	}
+	for _, fn := range d.onDeclare {
+		fn(id.U, id.V)
+	}
+	return nil
+}
+
+// Undeclare removes a declared link entirely, returning its slot to the
+// free list. The link must be invisible to both endpoints; any in-flight
+// detection events are cancelled. MinTransit deliberately stays at its
+// ratcheted value (it is a sound lower bound, and rescanning would make the
+// drain lookahead depend on removal order).
+func (d *Dynamic) Undeclare(a, b int) error {
+	id := MakeEdgeID(a, b)
+	if d.ref != nil {
+		e, ok := d.ref.edges[id]
+		if !ok {
+			return fmt.Errorf("topo: Undeclare of undeclared link {%d,%d}", a, b)
+		}
+		if e.up[0] || e.up[1] {
+			return fmt.Errorf("topo: Undeclare of visible link {%d,%d}", a, b)
+		}
+		d.engine.Cancel(e.pending[0])
+		d.engine.Cancel(e.pending[1])
+		delete(d.ref.edges, id)
+		delete(d.ref.adj[id.U], id.V)
+		delete(d.ref.adj[id.V], id.U)
 		return nil
 	}
-	e := &edge{id: id, params: p}
-	d.edges[id] = e
-	d.adj[id.U][id.V] = e
-	d.adj[id.V][id.U] = e
+	slot, ok := d.idx[id.pack()]
+	if !ok {
+		return fmt.Errorf("topo: Undeclare of undeclared link {%d,%d}", a, b)
+	}
+	if d.eUp[slot] != 0 {
+		return fmt.Errorf("topo: Undeclare of visible link {%d,%d}", a, b)
+	}
+	if cs := d.churn[slot]; cs != nil {
+		d.engine.Cancel(cs.pending[0])
+		d.engine.Cancel(cs.pending[1])
+		delete(d.churn, slot)
+	}
+	delete(d.idx, id.pack())
+	d.adj.Remove(id.U, int32(id.V))
+	d.adj.Remove(id.V, int32(id.U))
+	d.slots.Free(slot)
 	return nil
 }
 
 // Params returns the link parameters for {a,b}.
 func (d *Dynamic) Params(a, b int) (LinkParams, bool) {
-	e, ok := d.edges[MakeEdgeID(a, b)]
+	if d.ref != nil {
+		e, ok := d.ref.edges[MakeEdgeID(a, b)]
+		if !ok {
+			return LinkParams{}, false
+		}
+		return e.params, true
+	}
+	slot, ok := d.adj.Find(a, int32(b))
 	if !ok {
 		return LinkParams{}, false
 	}
-	return e.params, true
+	return d.classes[d.eClass[slot]], true
 }
 
 // Appear makes edge {a,b} appear now. Each endpoint observes the appearance
 // after an independent delay drawn uniformly from [0, τ], matching the
 // asymmetric-discovery model. The link must have been declared.
 func (d *Dynamic) Appear(a, b int) error {
-	e, ok := d.edges[MakeEdgeID(a, b)]
-	if !ok {
-		return fmt.Errorf("topo: Appear on undeclared link {%d,%d}", a, b)
-	}
-	for side := 0; side < 2; side++ {
-		d.transition(e, side, true, d.detectionLag(e))
-	}
-	return nil
+	return d.toggle(a, b, true, false, "Appear")
 }
 
 // AppearInstant makes the edge visible to both endpoints immediately (used
 // for initial topologies, where the paper assumes N_u(0) contains all edges
 // present at time 0).
 func (d *Dynamic) AppearInstant(a, b int) error {
-	e, ok := d.edges[MakeEdgeID(a, b)]
-	if !ok {
-		return fmt.Errorf("topo: AppearInstant on undeclared link {%d,%d}", a, b)
-	}
-	for side := 0; side < 2; side++ {
-		d.transition(e, side, true, 0)
-	}
-	return nil
+	return d.toggle(a, b, true, true, "AppearInstant")
 }
 
 // Disappear makes edge {a,b} disappear now; endpoints observe within τ.
 func (d *Dynamic) Disappear(a, b int) error {
-	e, ok := d.edges[MakeEdgeID(a, b)]
-	if !ok {
-		return fmt.Errorf("topo: Disappear on undeclared link {%d,%d}", a, b)
+	return d.toggle(a, b, false, false, "Disappear")
+}
+
+func (d *Dynamic) toggle(a, b int, up, instant bool, op string) error {
+	id := MakeEdgeID(a, b)
+	if d.ref != nil {
+		e, ok := d.ref.edges[id]
+		if !ok {
+			return fmt.Errorf("topo: %s on undeclared link {%d,%d}", op, a, b)
+		}
+		for side := 0; side < 2; side++ {
+			lag := 0.0
+			if !instant {
+				lag = d.detectionLag(e.params.Tau)
+			}
+			d.transitionRef(e, side, up, lag)
+		}
+		return nil
 	}
+	slot, ok := d.idx[id.pack()]
+	if !ok {
+		return fmt.Errorf("topo: %s on undeclared link {%d,%d}", op, a, b)
+	}
+	tau := d.classes[d.eClass[slot]].Tau
 	for side := 0; side < 2; side++ {
-		d.transition(e, side, false, d.detectionLag(e))
+		lag := 0.0
+		if !instant {
+			lag = d.detectionLag(tau)
+		}
+		d.transition(slot, side, up, lag)
 	}
 	return nil
 }
 
-func (d *Dynamic) detectionLag(e *edge) float64 {
-	if e.params.Tau <= 0 || d.rng == nil {
+func (d *Dynamic) detectionLag(tau float64) float64 {
+	if tau <= 0 || d.rng == nil {
 		return 0
 	}
-	return d.rng.Uniform(0, e.params.Tau)
+	return d.rng.Uniform(0, tau)
 }
 
-// transition schedules the visibility flip of one side after lag time units.
-// An outstanding pending transition for that side is superseded.
-func (d *Dynamic) transition(e *edge, side int, up bool, lag float64) {
+// transition schedules the visibility flip of one side of a slab edge after
+// lag time units. An outstanding pending transition for that side is
+// superseded. The lag-0 path applies inline and touches no churn state, so
+// static initial topologies never allocate it; a lagged transition creates
+// the edge's churnState (and its two apply closures) once, after which
+// steady-state flapping is allocation-free.
+func (d *Dynamic) transition(slot int32, side int, up bool, lag float64) {
+	cs := d.churn[slot]
+	if cs != nil {
+		d.engine.Cancel(cs.pending[side]) // no-op for the zero or stale handle
+		cs.pending[side] = 0
+	}
+	if lag <= 0 {
+		d.apply(slot, side, up, d.engine.Now())
+		return
+	}
+	if cs == nil {
+		cs = &churnState{}
+		d.churn[slot] = cs
+	}
+	if cs.apply[side] == nil {
+		s, sd := slot, side
+		cs.apply[side] = func(t sim.Time) {
+			cs.pending[sd] = 0
+			d.apply(s, sd, cs.want[sd], t)
+		}
+	}
+	cs.want[side] = up
+	cs.pending[side] = d.engine.After(lag, cs.apply[side])
+}
+
+// apply flips the visibility of one side of a slab edge and notifies the
+// listener.
+func (d *Dynamic) apply(slot int32, side int, up bool, t sim.Time) {
+	bit := upU << side
+	if (d.eUp[slot]&bit != 0) == up {
+		return
+	}
+	self, peer := int(d.eU[slot]), int(d.eV[slot])
+	if side == 1 {
+		self, peer = peer, self
+	}
+	if up {
+		d.eUp[slot] |= bit
+		d.eSince[slot][side] = t
+		if d.listener != nil {
+			d.listener.EdgeUp(self, peer, t)
+		}
+	} else {
+		d.eUp[slot] &^= bit
+		if d.listener != nil {
+			d.listener.EdgeDown(self, peer, t)
+		}
+	}
+}
+
+// transitionRef is the reference-layout transition path.
+func (d *Dynamic) transitionRef(e *edge, side int, up bool, lag float64) {
 	d.engine.Cancel(e.pending[side]) // no-op for the zero or stale handle
 	e.pending[side] = 0
 	apply := func(t sim.Time) {
@@ -254,61 +484,120 @@ func (d *Dynamic) transition(e *edge, side int, up bool, lag float64) {
 	e.pending[side] = d.engine.After(lag, apply)
 }
 
+// sideOf returns the slab side index of node u on edge {u,v}: side 0 is the
+// smaller endpoint (EdgeID is canonical U < V).
+func sideOf(u, v int) int {
+	if u < v {
+		return 0
+	}
+	return 1
+}
+
 // Sees reports whether the directed estimate edge (u, v) currently exists,
 // i.e. v ∈ N_u(t) in the paper's notation.
 func (d *Dynamic) Sees(u, v int) bool {
-	e, ok := d.adj[u][v]
+	if d.ref != nil {
+		e, ok := d.ref.adj[u][v]
+		if !ok {
+			return false
+		}
+		return e.up[e.side(u)]
+	}
+	slot, ok := d.adj.Find(u, int32(v))
 	if !ok {
 		return false
 	}
-	return e.up[e.side(u)]
+	return d.eUp[slot]&(upU<<sideOf(u, v)) != 0
 }
 
 // BothUp reports whether {u,v} exists in both directions.
 func (d *Dynamic) BothUp(u, v int) bool {
-	e, ok := d.adj[u][v]
+	if d.ref != nil {
+		e, ok := d.ref.adj[u][v]
+		if !ok {
+			return false
+		}
+		return e.up[0] && e.up[1]
+	}
+	slot, ok := d.adj.Find(u, int32(v))
 	if !ok {
 		return false
 	}
-	return e.up[0] && e.up[1]
+	return d.eUp[slot] == upU|upV
 }
 
 // UpSince returns the time the directed edge (u,v) last became visible; the
 // second result is false if the edge is currently down for u.
 func (d *Dynamic) UpSince(u, v int) (sim.Time, bool) {
-	e, ok := d.adj[u][v]
+	if d.ref != nil {
+		e, ok := d.ref.adj[u][v]
+		if !ok {
+			return 0, false
+		}
+		s := e.side(u)
+		if !e.up[s] {
+			return 0, false
+		}
+		return e.upSince[s], true
+	}
+	slot, ok := d.adj.Find(u, int32(v))
 	if !ok {
 		return 0, false
 	}
-	s := e.side(u)
-	if !e.up[s] {
+	s := sideOf(u, v)
+	if d.eUp[slot]&(upU<<s) == 0 {
 		return 0, false
 	}
-	return e.upSince[s], true
+	return d.eSince[slot][s], true
 }
 
 // AgeBoth returns how long {u,v} has been continuously visible to both
 // endpoints, or false if it is not currently both-up.
 func (d *Dynamic) AgeBoth(u, v int, now sim.Time) (float64, bool) {
-	e, ok := d.adj[u][v]
-	if !ok || !e.up[0] || !e.up[1] {
+	if d.ref != nil {
+		e, ok := d.ref.adj[u][v]
+		if !ok || !e.up[0] || !e.up[1] {
+			return 0, false
+		}
+		since := math.Max(e.upSince[0], e.upSince[1])
+		return now - since, true
+	}
+	slot, ok := d.adj.Find(u, int32(v))
+	if !ok || d.eUp[slot] != upU|upV {
 		return 0, false
 	}
-	since := math.Max(e.upSince[0], e.upSince[1])
-	return now - since, true
+	return now - math.Max(d.eSince[slot][0], d.eSince[slot][1]), true
+}
+
+// ageBothSlot is AgeBoth for an already-resolved slab slot.
+func (d *Dynamic) ageBothSlot(slot int32, now sim.Time) (float64, bool) {
+	if d.eUp[slot] != upU|upV {
+		return 0, false
+	}
+	return now - math.Max(d.eSince[slot][0], d.eSince[slot][1]), true
 }
 
 // Neighbors appends to dst the peers currently visible to u, in ascending
 // id order (deterministic iteration keeps whole simulations reproducible),
-// and returns the slice.
+// and returns the slice. In the slab layout the adjacency row is already
+// sorted, so this is one contiguous filtered scan with no sort.
 func (d *Dynamic) Neighbors(u int, dst []int) []int {
-	start := len(dst)
-	for v, e := range d.adj[u] {
-		if e.up[e.side(u)] {
-			dst = append(dst, v)
+	if d.ref != nil {
+		start := len(dst)
+		for v, e := range d.ref.adj[u] {
+			if e.up[e.side(u)] {
+				dst = append(dst, v)
+			}
+		}
+		sort.Ints(dst[start:])
+		return dst
+	}
+	peers, slots := d.adj.Row(u)
+	for i, v := range peers {
+		if d.eUp[slots[i]]&(upU<<sideOf(u, int(v))) != 0 {
+			dst = append(dst, int(v))
 		}
 	}
-	sort.Ints(dst[start:])
 	return dst
 }
 
@@ -317,8 +606,16 @@ func (d *Dynamic) Neighbors(u int, dst []int) []int {
 // apart from the pairs they are free to toggle.
 func (d *Dynamic) DeclaredEdges(dst []EdgeID) []EdgeID {
 	start := len(dst)
-	for id := range d.edges {
-		dst = append(dst, id)
+	if d.ref != nil {
+		for id := range d.ref.edges {
+			dst = append(dst, id)
+		}
+	} else {
+		for slot := int32(0); slot < int32(d.slots.Cap()); slot++ {
+			if d.slots.Live(slot) {
+				dst = append(dst, EdgeID{U: int(d.eU[slot]), V: int(d.eV[slot])})
+			}
+		}
 	}
 	sortEdges(dst[start:])
 	return dst
@@ -327,9 +624,17 @@ func (d *Dynamic) DeclaredEdges(dst []EdgeID) []EdgeID {
 // EdgesBothUp appends to dst all edges visible in both directions, sorted.
 func (d *Dynamic) EdgesBothUp(dst []EdgeID) []EdgeID {
 	start := len(dst)
-	for id, e := range d.edges {
-		if e.up[0] && e.up[1] {
-			dst = append(dst, id)
+	if d.ref != nil {
+		for id, e := range d.ref.edges {
+			if e.up[0] && e.up[1] {
+				dst = append(dst, id)
+			}
+		}
+	} else {
+		for slot := int32(0); slot < int32(d.slots.Cap()); slot++ {
+			if d.slots.Live(slot) && d.eUp[slot] == upU|upV {
+				dst = append(dst, EdgeID{U: int(d.eU[slot]), V: int(d.eV[slot])})
+			}
 		}
 	}
 	sortEdges(dst[start:])
@@ -340,9 +645,20 @@ func (d *Dynamic) EdgesBothUp(dst []EdgeID) []EdgeID {
 // sorted.
 func (d *Dynamic) StableEdges(now sim.Time, minAge float64, dst []EdgeID) []EdgeID {
 	start := len(dst)
-	for id := range d.edges {
-		if age, ok := d.AgeBoth(id.U, id.V, now); ok && age >= minAge {
-			dst = append(dst, id)
+	if d.ref != nil {
+		for id := range d.ref.edges {
+			if age, ok := d.AgeBoth(id.U, id.V, now); ok && age >= minAge {
+				dst = append(dst, id)
+			}
+		}
+	} else {
+		for slot := int32(0); slot < int32(d.slots.Cap()); slot++ {
+			if !d.slots.Live(slot) {
+				continue
+			}
+			if age, ok := d.ageBothSlot(slot, now); ok && age >= minAge {
+				dst = append(dst, EdgeID{U: int(d.eU[slot]), V: int(d.eV[slot])})
+			}
 		}
 	}
 	sortEdges(dst[start:])
@@ -358,6 +674,21 @@ func sortEdges(edges []EdgeID) {
 	})
 }
 
+// eachDeclaredPeer calls fn for every declared peer of u (up or down). The
+// graph-algorithm helpers below use it so they run on either layout.
+func (d *Dynamic) eachDeclaredPeer(u int, fn func(v int)) {
+	if d.ref != nil {
+		for v := range d.ref.adj[u] {
+			fn(v)
+		}
+		return
+	}
+	peers, _ := d.adj.Row(u)
+	for _, v := range peers {
+		fn(int(v))
+	}
+}
+
 // HopDistances runs BFS from src over both-up edges at least minAge old and
 // returns hop counts (-1 for unreachable).
 func (d *Dynamic) HopDistances(src int, now sim.Time, minAge float64) []int {
@@ -370,17 +701,16 @@ func (d *Dynamic) HopDistances(src int, now sim.Time, minAge float64) []int {
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for v, e := range d.adj[u] {
+		d.eachDeclaredPeer(u, func(v int) {
 			if dist[v] >= 0 {
-				continue
+				return
 			}
 			if age, ok := d.AgeBoth(u, v, now); !ok || age < minAge {
-				_ = e
-				continue
+				return
 			}
 			dist[v] = dist[u] + 1
 			queue = append(queue, v)
-		}
+		})
 	}
 	return dist
 }
@@ -407,15 +737,16 @@ func (d *Dynamic) WeightedDistances(src int, now sim.Time, minAge float64, weigh
 			break
 		}
 		done[u] = true
-		for v, e := range d.adj[u] {
+		d.eachDeclaredPeer(u, func(v int) {
 			if age, ok := d.AgeBoth(u, v, now); !ok || age < minAge {
-				continue
+				return
 			}
-			w := weight(e.id, e.params)
+			p, _ := d.Params(u, v)
+			w := weight(MakeEdgeID(u, v), p)
 			if nd := dist[u] + w; nd < dist[v] {
 				dist[v] = nd
 			}
-		}
+		})
 	}
 	for i := range dist {
 		if dist[i] == inf {

@@ -1,0 +1,45 @@
+package gradsync_test
+
+// This file is the determinism net for the structure-of-arrays storage
+// (runner.Config.ReferenceLayout): the same randomized full runs that pin the
+// sharded tick must produce byte-identical state on the CSR/slab layout and
+// on the retired map-backed layout — and the SoA run must stay identical
+// under the sharded tick and sharded event drain, so the layout change
+// composes with both concurrency fan-outs. The 8-shard replays also run under
+// `make race`, putting the SoA read paths in front of the detector.
+
+import (
+	"testing"
+
+	gradsync "repro"
+)
+
+// TestLayoutDifferential replays randomized full runs — topology, scenario,
+// drift adversary, estimate layer, algorithm all drawn per case — once on the
+// reference map layout (serial) and then on the default SoA layout at
+// tick/event shard counts (1,1), (2,2) and (8,8). Clocks, max estimates,
+// event counts and every algorithm counter must match bit-for-bit.
+func TestLayoutDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential replays take a few seconds")
+	}
+	for caseSeed := int64(101); caseSeed <= 112; caseSeed++ {
+		c := randomTickCase(caseSeed)
+		t.Run(c.name, func(t *testing.T) {
+			run := func(ref bool, par int) tickFingerprint {
+				cfg := c.build(par)
+				cfg.EventParallelism = par
+				cfg.ReferenceLayout = ref
+				net := gradsync.MustNew(cfg)
+				net.RunFor(c.horizon)
+				return fingerprint(net)
+			}
+			refFP := run(true, 1)
+			for _, par := range []int{1, 2, 8} {
+				if d := refFP.diff(run(false, par)); d != "" {
+					t.Fatalf("SoA layout at parallelism %d diverged from reference layout: %s", par, d)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,63 @@
+package gradsync_test
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+
+	gradsync "repro"
+)
+
+// measureRingHeap builds a ring network on the requested storage layout,
+// runs it just long enough to populate beacon samples and per-edge algorithm
+// state, and returns the live-heap growth attributable to the network.
+func measureRingHeap(t *testing.T, n int, ref bool) int64 {
+	t.Helper()
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	net := gradsync.MustNew(gradsync.Config{
+		Topology:        gradsync.RingTopology(n),
+		DiameterHint:    n / 2,
+		Drift:           gradsync.TwoGroupDrift(n / 2),
+		Estimates:       gradsync.MessagingEstimates(false),
+		Seed:            7,
+		ReferenceLayout: ref,
+	})
+	net.RunFor(0.6) // a full beacon round: every sample slot written once
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	heap := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	runtime.KeepAlive(net)
+	return heap
+}
+
+// TestMemoryFootprintRing is the memory-diet regression gate: on a ring, the
+// default structure-of-arrays layout must hold strictly less live heap than
+// the retired map-backed reference layout. Default N is CI-sized; set
+// GRADSYNC_MEM_N (e.g. 1000000) to reproduce the before/after figures
+// reported in CHANGES.md and EXPERIMENTS.md. Run with -v for the bytes/node
+// breakdown.
+func TestMemoryFootprintRing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory measurement builds two full networks")
+	}
+	n := 20000
+	if s := os.Getenv("GRADSYNC_MEM_N"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			t.Fatalf("bad GRADSYNC_MEM_N=%q", s)
+		}
+		n = v
+	}
+	refHeap := measureRingHeap(t, n, true)
+	soaHeap := measureRingHeap(t, n, false)
+	t.Logf("N=%d ring: reference layout %.1f MiB (%.0f B/node), SoA layout %.1f MiB (%.0f B/node)",
+		n, float64(refHeap)/(1<<20), float64(refHeap)/float64(n),
+		float64(soaHeap)/(1<<20), float64(soaHeap)/float64(n))
+	if soaHeap >= refHeap {
+		t.Errorf("SoA layout holds %d B live heap, reference layout %d B — the memory diet regressed", soaHeap, refHeap)
+	}
+}
