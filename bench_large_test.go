@@ -7,6 +7,7 @@ package gradsync_test
 // `go test -bench .` on a PR never pays for them.
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
@@ -56,6 +57,16 @@ func BenchmarkRuntime100k(b *testing.B) {
 			b.StopTimer()
 			events := net.Runtime().Engine.Stepped
 			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+			st := net.Runtime().Engine.DrainStats()
+			if st.Windows > 0 {
+				b.ReportMetric(st.MeanEventsPerWindow(), "events/window")
+			}
+			runtime.GC()
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			fmt.Printf("=== mem Runtime100k/%s: N=%d live heap %.1f MiB (%.0f B/node) ===\n",
+				v.name, n, float64(ms.HeapAlloc)/(1<<20), float64(ms.HeapAlloc)/float64(n))
+			runtime.KeepAlive(net)
 		})
 	}
 }

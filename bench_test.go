@@ -133,15 +133,27 @@ func BenchmarkE16ExtremeScaleQuick(b *testing.B) {
 // speedup on top of it ("max" is NumCPU, the E15/E16 default; the name is
 // machine-independent so records diff across hosts, and the outputs are
 // byte-identical across all three — only the wall-clock may differ).
+// The messaging rung swaps the oracle estimate layer for the beacon
+// protocol: only it carries drain traffic (the oracle sends no messages, so
+// its drain windows are empty), which makes it the rung whose events/window
+// metric tracks the window-widening machinery — sharded serial controls,
+// per-pair lookahead, and tick crossing all fire on it. Its shard count is
+// pinned at 8 rather than NumCPU: the drain's window structure (and so the
+// events/window figure) is a function of the logical shard count, and a
+// fixed K keeps that figure comparable across hosts — including single-core
+// runners, where "max" degrades to the serial drain and reports no windows
+// at all.
 func BenchmarkRuntime10k(b *testing.B) {
 	for _, v := range []struct {
-		name    string
-		tickPar int
-		evPar   int
+		name      string
+		tickPar   int
+		evPar     int
+		messaging bool
 	}{
-		{"par=1/evpar=1", 1, 1},
-		{"par=max/evpar=1", runtime.NumCPU(), 1},
-		{"par=max/evpar=max", runtime.NumCPU(), runtime.NumCPU()},
+		{"par=1/evpar=1", 1, 1, false},
+		{"par=max/evpar=1", runtime.NumCPU(), 1, false},
+		{"par=max/evpar=max", runtime.NumCPU(), runtime.NumCPU(), false},
+		{"par=max/evpar=8/messaging", runtime.NumCPU(), 8, true},
 	} {
 		b.Run(v.name, func(b *testing.B) {
 			const n = 10000
@@ -150,7 +162,7 @@ func BenchmarkRuntime10k(b *testing.B) {
 				u := i * (n / 2) / 64 // anchors span half the ring: 64 distinct chords
 				pairs = append(pairs, scenario.Pair{u, u + n/2})
 			}
-			net := gradsync.MustNew(gradsync.Config{
+			cfg := gradsync.Config{
 				Topology:         gradsync.RingTopology(n),
 				DiameterHint:     n / 2,
 				Drift:            gradsync.TwoGroupDrift(n / 2),
@@ -158,7 +170,11 @@ func BenchmarkRuntime10k(b *testing.B) {
 				TickParallelism:  v.tickPar,
 				EventParallelism: v.evPar,
 				Seed:             1,
-			})
+			}
+			if v.messaging {
+				cfg.Estimates = gradsync.MessagingEstimates(false)
+			}
+			net := gradsync.MustNew(cfg)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				net.RunFor(1)
@@ -166,6 +182,24 @@ func BenchmarkRuntime10k(b *testing.B) {
 			b.StopTimer()
 			events := net.Runtime().Engine.Stepped
 			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+			st := net.Runtime().Engine.DrainStats()
+			if st.Windows > 0 {
+				// Drain-batching quality: how many events the average parallel
+				// window carried. Archived in BENCH_sweep.json next to
+				// events/sec, so window-widening work (per-shard lookahead,
+				// serial controls, tick crossing) has a tracked number.
+				b.ReportMetric(st.MeanEventsPerWindow(), "events/window")
+			}
+			// Mem footer in the scale-tier format; benchjson parses these
+			// lines into the mem section of BENCH_sweep.json and -compare
+			// gates bytes/node. Printed directly (not b.Log) so the line
+			// reaches the bench output stream unindented.
+			runtime.GC()
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			fmt.Printf("=== mem Runtime10k/%s: N=%d live heap %.1f MiB (%.0f B/node) ===\n",
+				v.name, n, float64(ms.HeapAlloc)/(1<<20), float64(ms.HeapAlloc)/float64(n))
+			runtime.KeepAlive(net)
 		})
 	}
 }

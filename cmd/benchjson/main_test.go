@@ -20,6 +20,8 @@ pkg: repro
 BenchmarkSweepReplicas/parallel=8-8         	       1	 12345678 ns/op
 BenchmarkThroughput-8 	     100	     250 ns/op	  64.00 MB/s	      16 B/op	       1 allocs/op
 BenchmarkRuntime10k-8 	       3	 627203010 ns/op	    188198 events/sec	  725360 B/op	      22 allocs/op
+BenchmarkRuntime10k/par=max/evpar=max-8 	       3	 52719301 ns/op	    1.2e+06 events/sec	    95.17 events/window	  725360 B/op	      22 allocs/op
+=== mem Runtime10k/par=max/evpar=max: N=10000 live heap 12.9 MiB (1351 B/node) ===
 ok  	repro	1.2s
 `
 
@@ -37,8 +39,8 @@ func TestParseAndWrite(t *testing.T) {
 	if err := json.Unmarshal(data, &report); err != nil {
 		t.Fatalf("output is not valid JSON: %v", err)
 	}
-	if len(report.Benchmarks) != 4 {
-		t.Fatalf("parsed %d records, want 4", len(report.Benchmarks))
+	if len(report.Benchmarks) != 5 {
+		t.Fatalf("parsed %d records, want 5", len(report.Benchmarks))
 	}
 	first := report.Benchmarks[0]
 	if first.Pkg != "repro/internal/core" || first.Name != "BenchmarkCoreStep" {
@@ -65,6 +67,174 @@ func TestParseAndWrite(t *testing.T) {
 	if fourth.Name != "BenchmarkRuntime10k" || fourth.EventsPerSec != 188198 ||
 		fourth.BPerOp != 725360 || fourth.AllocsPerOp != 22 {
 		t.Errorf("record 3 = %+v (events/sec metric must be captured)", fourth)
+	}
+	fifth := report.Benchmarks[4]
+	if fifth.Name != "BenchmarkRuntime10k/par=max/evpar=max" || fifth.EventsPerWindow != 95.17 ||
+		fifth.EventsPerSec != 1.2e+06 || fifth.BPerOp != 725360 {
+		t.Errorf("record 4 = %+v (events/window metric must be captured between events/sec and B/op)", fifth)
+	}
+	if len(report.Mem) != 1 {
+		t.Fatalf("parsed %d mem footers, want 1", len(report.Mem))
+	}
+	mem := report.Mem[0]
+	if mem.Case != "Runtime10k/par=max/evpar=max" || mem.N != 10000 ||
+		mem.LiveHeapMiB != 12.9 || mem.BytesPerNode != 1351 {
+		t.Errorf("mem record = %+v", mem)
+	}
+}
+
+// TestParseMemLastFooterWins pins the dedup rule: a benchmark restarted for
+// larger b.N reprints its footer, and only the final print is recorded.
+func TestParseMemLastFooterWins(t *testing.T) {
+	input := `pkg: repro
+BenchmarkA 	 1	 100 ns/op
+=== mem ring: N=100 live heap 1.0 MiB (50 B/node) ===
+    === mem ring: N=100 live heap 2.0 MiB (61 B/node) ===
+`
+	report, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Mem) != 1 {
+		t.Fatalf("got %d mem records, want 1 (same case must overwrite)", len(report.Mem))
+	}
+	if report.Mem[0].BytesPerNode != 61 {
+		t.Errorf("BytesPerNode = %v, want the last footer's 61 (indented footers must still match)",
+			report.Mem[0].BytesPerNode)
+	}
+}
+
+// writeMemReport drops a record file that carries both a benchmark (so the
+// matched>0 guard passes) and mem footers.
+func writeMemReport(t *testing.T, dir, name string, mems ...MemRecord) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(Report{
+		Benchmarks: []Record{{Pkg: "p", Name: "BenchmarkA", NsPerOp: 100}},
+		Mem:        mems,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareMemRegressionFails pins the bytes-per-node gate: >10% growth on
+// a case present in both files fails the compare even though every ns/op is
+// inside its threshold.
+func TestCompareMemRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	old := writeMemReport(t, dir, "old.json",
+		MemRecord{Case: "ring", N: 10000, LiveHeapMiB: 10, BytesPerNode: 1000})
+	niu := writeMemReport(t, dir, "new.json",
+		MemRecord{Case: "ring", N: 10000, LiveHeapMiB: 12, BytesPerNode: 1150})
+	var stdout bytes.Buffer
+	err := run([]string{"-compare", old, niu}, strings.NewReader(""), &stdout)
+	if err == nil {
+		t.Fatalf("+15%% B/node passed the 10%% mem threshold:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "1000 → 1150 B/node") {
+		t.Errorf("output does not name the mem regression:\n%s", stdout.String())
+	}
+	// A looser explicit mem threshold tolerates the same delta.
+	if err := run([]string{"-mem-threshold", "20", "-compare", old, niu}, strings.NewReader(""), &stdout); err != nil {
+		t.Errorf("-mem-threshold 20 still failed: %v", err)
+	}
+	// Growth inside the threshold passes.
+	ok := writeMemReport(t, dir, "ok.json",
+		MemRecord{Case: "ring", N: 10000, LiveHeapMiB: 10.5, BytesPerNode: 1050})
+	if err := run([]string{"-compare", old, ok}, strings.NewReader(""), &bytes.Buffer{}); err != nil {
+		t.Errorf("+5%% B/node failed the 10%% threshold: %v", err)
+	}
+	// Shrinking never fails.
+	if err := run([]string{"-compare", niu, old}, strings.NewReader(""), &bytes.Buffer{}); err != nil {
+		t.Errorf("a B/node improvement failed the compare: %v", err)
+	}
+}
+
+// TestCompareMemBackCompat: baselines that predate the mem section (no Mem
+// array) never trip the gate, and new cases are reported without failing.
+func TestCompareMemBackCompat(t *testing.T) {
+	dir := t.TempDir()
+	old := writeMemReport(t, dir, "old.json") // benchmark only, no mem
+	niu := writeMemReport(t, dir, "new.json",
+		MemRecord{Case: "ring", N: 10000, LiveHeapMiB: 12, BytesPerNode: 1150})
+	var stdout bytes.Buffer
+	if err := run([]string{"-compare", old, niu}, strings.NewReader(""), &stdout); err != nil {
+		t.Fatalf("mem gate fired against a baseline without mem records: %v\n%s", err, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "mem new") {
+		t.Errorf("new mem case not reported:\n%s", stdout.String())
+	}
+	// Markdown mode renders the mem table only when footers exist.
+	var md bytes.Buffer
+	if err := run([]string{"-compare", "-markdown", old, niu}, strings.NewReader(""), &md); err != nil {
+		t.Fatalf("markdown compare failed: %v", err)
+	}
+	if !strings.Contains(md.String(), "| case | N | baseline B/node |") {
+		t.Errorf("markdown output missing the mem table header:\n%s", md.String())
+	}
+	var mdNone bytes.Buffer
+	if err := run([]string{"-compare", "-markdown", old, old}, strings.NewReader(""), &mdNone); err != nil {
+		t.Fatalf("markdown self-compare failed: %v", err)
+	}
+	if strings.Contains(mdNone.String(), "Live-heap delta") {
+		t.Errorf("mem table rendered with no mem records on either side:\n%s", mdNone.String())
+	}
+}
+
+// TestTrendTable pins the -trend rendering: one column per record file in
+// argument order, rows keyed by the newest file, em-dashes where a run
+// predates a benchmark or mem case.
+func TestTrendTable(t *testing.T) {
+	dir := t.TempDir()
+	run1 := filepath.Join(dir, "1111.json")
+	writeFile := func(path string, rep Report) {
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile(run1, Report{Benchmarks: []Record{
+		{Pkg: "p", Name: "BenchmarkA", NsPerOp: 100},
+		{Pkg: "p", Name: "BenchmarkGone", NsPerOp: 5},
+	}})
+	run2 := filepath.Join(dir, "2222.json")
+	writeFile(run2, Report{
+		Benchmarks: []Record{
+			{Pkg: "p", Name: "BenchmarkA", NsPerOp: 90, EventsPerSec: 2e6},
+			{Pkg: "p", Name: "BenchmarkNew", NsPerOp: 42},
+		},
+		Mem: []MemRecord{{Case: "ring", N: 10000, LiveHeapMiB: 12, BytesPerNode: 1150}},
+	})
+	var stdout bytes.Buffer
+	if err := run([]string{"-trend", run1, run2}, strings.NewReader(""), &stdout); err != nil {
+		t.Fatalf("trend: %v\n%s", err, stdout.String())
+	}
+	got := stdout.String()
+	for _, want := range []string{
+		"| benchmark | 1111 | 2222 |",
+		"| BenchmarkA | 100 | 90 (2e+06 ev/s) |",
+		"| BenchmarkNew | — | 42 |",
+		"| case | 1111 | 2222 |",
+		"| ring | — | 1150 |",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("trend output missing %q:\n%s", want, got)
+		}
+	}
+	// Rows are keyed by the newest file: retired benchmarks fall off.
+	if strings.Contains(got, "BenchmarkGone") {
+		t.Errorf("trend table still lists a benchmark absent from the newest run:\n%s", got)
+	}
+	if err := run([]string{"-trend"}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Error("-trend with no files must error")
 	}
 }
 

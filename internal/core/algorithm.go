@@ -116,6 +116,13 @@ type Algorithm struct {
 	integrateFn func(shard, lo, hi int)
 	dHTick      []float64
 
+	// evCtr mirrors shardCtr for the lazily applied ticks of tick-crossing
+	// event windows (runner.NodeStepper): one private counter block per
+	// *event* shard, folded by FinishTick. Commutative uint64 sums keyed by
+	// the node's fixed event shard keep the totals byte-identical no matter
+	// which window or sweep touches a node first.
+	evCtr []modeCounters
+
 	// Counters (diagnostics; tests assert on several).
 	FastTicks        uint64 // node-ticks spent in fast mode
 	SlowTicks        uint64 // node-ticks spent in slow mode
@@ -206,6 +213,7 @@ func (a *Algorithm) Init(rt *runner.Runtime) {
 		a.classIdx = make(map[edgeClass]int32)
 	}
 	a.shardCtr = make([]modeCounters, rt.TickShards())
+	a.evCtr = make([]modeCounters, rt.Engine.EventShards())
 	a.decideFn = a.decideShard
 	a.integrateFn = a.integrateShard
 	a.refreshSMax()
@@ -614,6 +622,49 @@ func (a *Algorithm) integrateShard(_, lo, hi int) {
 func (a *Algorithm) mergeCounters() {
 	for i := range a.shardCtr {
 		c := &a.shardCtr[i]
+		a.FastTicks += c.fast
+		a.SlowTicks += c.slow
+		a.TriggerConflicts += c.conflicts
+		a.MissingEstimates += c.missing
+		*c = modeCounters{}
+	}
+}
+
+// CanStepNodes implements runner.NodeStepper: per-node tick application is
+// available on the production trigger engine. The reference double loop
+// shares one evals scratch buffer across nodes, so it cannot step nodes
+// concurrently and keeps tick crossing disabled.
+func (a *Algorithm) CanStepNodes() bool { return !a.refTriggers }
+
+// StepNode implements runner.NodeStepper: decide-then-integrate for one node
+// whose tick is being applied lazily inside a tick-crossing event window.
+// Fusing the phases per node is byte-identical to the phased Step because
+// the decide phase reads only the deciding node's own pre-tick state (l[u],
+// m[u], mult[u], u's estimates) — never another node's clocks — so no node's
+// decision can observe a neighbor's integration. shard is u's fixed event
+// shard: during a window the call runs on the worker owning that shard, so
+// the evCtr block is contention-free.
+func (a *Algorithm) StepNode(u, shard int, dh float64) {
+	mult := a.decideMode(u, &a.evCtr[shard])
+	a.mult[u] = mult
+	a.l[u] += mult * dh
+	if a.m[u] <= a.l[u] {
+		// M_u = L_u: the estimate moves with the logical clock.
+		a.m[u] = a.l[u]
+	} else {
+		// M_u > L_u: advance at (1−ρ)/(1+ρ) times the hardware rate.
+		a.m[u] += (1 - a.p.Rho) / (1 + a.p.Rho) * dh
+		if a.m[u] < a.l[u] {
+			a.m[u] = a.l[u]
+		}
+	}
+}
+
+// FinishTick implements runner.NodeStepper: fold the per-event-shard tallies
+// of a lazily applied tick into the public counters, in shard order.
+func (a *Algorithm) FinishTick() {
+	for i := range a.evCtr {
+		c := &a.evCtr[i]
 		a.FastTicks += c.fast
 		a.SlowTicks += c.slow
 		a.TriggerConflicts += c.conflicts

@@ -40,6 +40,19 @@ type TickPreparer interface {
 	PrepareTick(t sim.Time, n int)
 }
 
+// ConstantStretch is the opt-in introspection contract of tick-crossing
+// event windows: RatesConstantUntil(t) returns a time b ≥ t such that every
+// node's rate is constant on [t, b) — no node's Rate(u, ·) changes value
+// anywhere in the stretch. Returning t (an empty stretch) is always sound
+// and disables crossing at t. Schedules that cannot certify a stretch —
+// lazily materialized paths like RandomWalk — simply do not implement the
+// interface. The runner only crosses an integration tick at T when the
+// stretch covers [T, T+Tick), so the lazily applied tick uses the same
+// Rate(u, T) values a barrier tick would have.
+type ConstantStretch interface {
+	RatesConstantUntil(t sim.Time) sim.Time
+}
+
 // Clamp limits r to the legal envelope [1−ρ, 1+ρ].
 func Clamp(r, rho float64) float64 {
 	if r < 1-rho {
@@ -59,6 +72,9 @@ func (c Constant) Rate(int, sim.Time) float64 { return c.R }
 
 // ConcurrentRates implements ConcurrentSchedule (stateless).
 func (Constant) ConcurrentRates() bool { return true }
+
+// RatesConstantUntil implements ConstantStretch: rates never change.
+func (Constant) RatesConstantUntil(sim.Time) sim.Time { return math.Inf(1) }
 
 // Perfect is the drift-free schedule (rate 1 everywhere).
 func Perfect() Schedule { return Constant{R: 1} }
@@ -82,6 +98,9 @@ func (g TwoGroup) Rate(u int, _ sim.Time) float64 {
 // ConcurrentRates implements ConcurrentSchedule (stateless).
 func (TwoGroup) ConcurrentRates() bool { return true }
 
+// RatesConstantUntil implements ConstantStretch: rates are time-independent.
+func (TwoGroup) RatesConstantUntil(sim.Time) sim.Time { return math.Inf(1) }
+
 // Linear interpolates rates across node ids from 1+ρ at node 0 down to 1−ρ
 // at node N−1, producing a smooth skew gradient along a line topology.
 type Linear struct {
@@ -101,6 +120,9 @@ func (l Linear) Rate(u int, _ sim.Time) float64 {
 // ConcurrentRates implements ConcurrentSchedule (stateless).
 func (Linear) ConcurrentRates() bool { return true }
 
+// RatesConstantUntil implements ConstantStretch: rates are time-independent.
+func (Linear) RatesConstantUntil(sim.Time) sim.Time { return math.Inf(1) }
+
 // Sinusoid gives node u rate 1 + ρ·sin(2π(t/Period + u·PhasePerNode)). With
 // distinct phases this exercises time-varying relative drift.
 type Sinusoid struct {
@@ -119,6 +141,10 @@ func (s Sinusoid) Rate(u int, t sim.Time) float64 {
 
 // ConcurrentRates implements ConcurrentSchedule (stateless).
 func (Sinusoid) ConcurrentRates() bool { return true }
+
+// RatesConstantUntil implements ConstantStretch: rates vary continuously, so
+// no non-empty stretch can be certified.
+func (Sinusoid) RatesConstantUntil(t sim.Time) sim.Time { return t }
 
 // Flip alternates each node between +ρ and −ρ with a per-node period,
 // flipping at staggered offsets so relative drift direction keeps changing.
@@ -141,6 +167,15 @@ func (f Flip) Rate(u int, t sim.Time) float64 {
 
 // ConcurrentRates implements ConcurrentSchedule (stateless).
 func (Flip) ConcurrentRates() bool { return true }
+
+// RatesConstantUntil implements ConstantStretch: every node's rate is
+// piecewise constant between the shared period boundaries.
+func (f Flip) RatesConstantUntil(t sim.Time) sim.Time {
+	if f.Period <= 0 {
+		return math.Inf(1)
+	}
+	return (math.Floor(t/f.Period) + 1) * f.Period
+}
 
 // RandomWalk gives each node an independent bounded random-walk rate,
 // resampled every Step time units. It is deterministic for a fixed seed.
@@ -225,6 +260,32 @@ func (s Switching) ConcurrentRates() bool {
 	return false
 }
 
+// RatesConstantUntil implements ConstantStretch, boundary-aware: outside the
+// window the rate is the constant 1 until the window opens (or forever once
+// it has closed); inside, the inner schedule's stretch is delegated and
+// capped at Until, where every node may jump back to rate 1. An inner
+// schedule without the contract certifies nothing inside the window.
+func (s Switching) RatesConstantUntil(t sim.Time) sim.Time {
+	if s.From >= s.Until {
+		return math.Inf(1) // empty window: rate 1 forever
+	}
+	if t < s.From {
+		return s.From
+	}
+	if t >= s.Until {
+		return math.Inf(1)
+	}
+	cs, ok := s.Inner.(ConstantStretch)
+	if !ok {
+		return t
+	}
+	b := cs.RatesConstantUntil(t)
+	if b > s.Until {
+		b = s.Until
+	}
+	return b
+}
+
 // PrepareTick implements TickPreparer by forwarding to the wrapped schedule,
 // but only inside [From, Until) — exactly when a serial tick would invoke
 // Inner.Rate. Forwarding while the window is closed would draw lazy inner
@@ -255,3 +316,6 @@ func (p PerNode) Rate(u int, _ sim.Time) float64 {
 
 // ConcurrentRates implements ConcurrentSchedule (concurrent map reads only).
 func (PerNode) ConcurrentRates() bool { return true }
+
+// RatesConstantUntil implements ConstantStretch: rates are time-independent.
+func (PerNode) RatesConstantUntil(sim.Time) sim.Time { return math.Inf(1) }

@@ -111,6 +111,14 @@ func runScaleTier(r *Result, spec Spec, tierID int64, tierTitle string, horizon 
 		runtime.ReadMemStats(&ms)
 		r.MemNotef("%s: N=%d live heap %.1f MiB (%.0f B/node)",
 			c.name, c.n, float64(ms.HeapAlloc)/(1<<20), float64(ms.HeapAlloc)/float64(c.n))
+		// Drain footer: how well the sharded event drain batched. Window
+		// counts depend on the shard count (NumCPU by default), so like the
+		// heap figures this is machine-dependent and stays out of the
+		// deterministic report body.
+		ds := net.Runtime().Engine.DrainStats()
+		r.MemNotef("%s: drain windows %d mean events/window %.1f serial %d crossed ticks %d trunc global/control/lookahead %d/%d/%d",
+			c.name, ds.Windows, ds.MeanEventsPerWindow(), ds.SerialSteps, ds.CrossedTicks,
+			ds.TruncGlobal, ds.TruncControl, ds.TruncLookahead)
 		runtime.KeepAlive(net)
 
 		if c.name == "ring" {

@@ -41,6 +41,22 @@ type Algorithm interface {
 	MaxEstimate(u int) float64
 }
 
+// NodeStepper is the opt-in contract of tick-crossing event windows: an
+// algorithm that can apply one node's integration tick in isolation —
+// decide-then-integrate for a single node, byte-identical to its phased
+// Step — lets the runtime apply a crossed tick lazily at each node's next
+// event touch instead of at a global barrier. StepNode(u, shard, dh) must
+// read only node u's own state (plus tick-stable shared state) and tally
+// mode counters into the given event-shard block; FinishTick folds the
+// blocks after the sweep, in shard order, so counter totals stay
+// deterministic. CanStepNodes may return false to disable the path (e.g.
+// reference trigger engines with shared scratch).
+type NodeStepper interface {
+	CanStepNodes() bool
+	StepNode(u, shard int, dh float64)
+	FinishTick()
+}
+
 // Scenario drives dynamic-network behavior against a running runtime:
 // topology churn, mobility, partitions, edge flaps. Implementations live in
 // internal/scenario and are installed once, at Start, with a dedicated RNG
@@ -79,14 +95,18 @@ type Config struct {
 	// estimate.ConcurrentLayer).
 	TickParallelism int
 	// EventParallelism shards the discrete-event drain itself: beacon-wheel
-	// fires (keyed by sending node) and beacon deliveries (keyed by
-	// receiver) move off the engine's global heap into per-shard queues
-	// drained in parallel windows bounded by the minimum link transit time
-	// Delay−Uncertainty — the conservative PDES safe horizon. Values ≤ 1
-	// keep the serial drain. Results are byte-identical for every value
-	// (see DESIGN.md, "Sharded event drain"); the knob trades wall-clock
-	// only. Global events — ticks, topology transitions, handshake timers,
-	// control deliveries — always stay serial.
+	// fires (keyed by sending node), beacon deliveries and control
+	// deliveries (keyed by receiver) move off the engine's global heap into
+	// per-shard queues. Beacons drain in parallel windows bounded per
+	// receiving shard by the minimum incoming link transit time
+	// Delay−Uncertainty (topo.Dynamic.InTransit — the conservative PDES
+	// safe horizon); controls fire one at a time on the engine's serial
+	// path but no longer truncate windows; and windows may cross an
+	// integration tick when the drift schedule certifies a constant-rate
+	// stretch (see DESIGN.md, "Sharded event drain"). Values ≤ 1 keep the
+	// serial drain. Results are byte-identical for every value; the knob
+	// trades wall-clock only. Global events — ticks, topology transitions,
+	// scenario steps, handshake timers — always stay serial.
 	EventParallelism int
 	// Seed feeds all randomness.
 	Seed int64
@@ -143,6 +163,22 @@ type Runtime struct {
 	// then the single wheel timer of earlier runtimes), so beacon fires
 	// parallelize with the rest of the sharded event drain.
 	wheel *wheelSource
+
+	// Tick-crossing state. stepper is the algorithm's NodeStepper face (nil
+	// when not implemented); evShards caches the engine's event shard count.
+	// While lazyActive, the tick at lazyT (with hardware increment factor
+	// lazyDt) has been crossed by at least one event window and is applied
+	// per node at first touch: nodeEpoch[u] == epochTarget marks u as
+	// already stepped. lastTick mirrors the tick ticker's previous fire
+	// time so lazyDt reproduces the exact dt the barrier tick would see.
+	stepper     NodeStepper
+	evShards    int
+	lazyActive  bool
+	lazyT       sim.Time
+	lazyDt      float64
+	lastTick    sim.Time
+	epochTarget uint32
+	nodeEpoch   []uint32
 }
 
 // New builds a runtime. The estimate layer and algorithm are attached
@@ -167,7 +203,10 @@ func New(cfg Config) (*Runtime, error) {
 	// The sharded drain windows on the minimum link transit time — the
 	// classic conservative-PDES lookahead: no beacon can cross a link in
 	// less, so events within a window cannot affect each other's shards.
+	// The per-shard bound (min over a shard's *incoming* pairs) refines the
+	// global ratchet, which stays installed as the fallback.
 	engine.SetLookahead(dyn.MinTransit)
+	engine.SetShardLookahead(dyn.InTransit)
 	net := transport.NewNetwork(engine, dyn, rng.Split(), cfg.Delay)
 	rt := &Runtime{
 		Engine:   engine,
@@ -242,6 +281,11 @@ func (rt *Runtime) SetEstimator(l estimate.Layer) {
 // Attach installs the algorithm and wires all event routing.
 func (rt *Runtime) Attach(a Algorithm) {
 	rt.algo = a
+	if st, ok := a.(NodeStepper); ok {
+		rt.stepper = st
+	} else {
+		rt.stepper = nil
+	}
 	rt.Dyn.SetListener(listener{rt})
 	rt.Net.SetHandler(handler{rt})
 	a.Init(rt)
@@ -266,15 +310,97 @@ func (rt *Runtime) Start() error {
 	if rt.cfg.Scenario != nil {
 		rt.cfg.Scenario.Install(rt, rt.RNG.Split())
 	}
-	rt.Engine.NewTicker(rt.cfg.Tick, rt.cfg.Tick, rt.step)
+	tk := rt.Engine.NewTicker(rt.cfg.Tick, rt.cfg.Tick, rt.step)
+	// Tick-crossing: event windows may extend past a pending integration
+	// tick when the whole stack certifies the stretch quiescent (see
+	// crossGate); the crossed tick is then applied lazily per node at first
+	// touch. The engine calls the gate only on the parallel window path, so
+	// K = 1 and the reference drain never cross.
+	rt.evShards = rt.Engine.EventShards()
+	rt.nodeEpoch = make([]uint32, rt.cfg.N)
+	rt.Engine.SetCrossable(tk.Timer(), rt.crossGate, rt.beginCross)
 	// Beacon wheel: slot k fires at BeaconInterval·k/N and beacons node
 	// k mod N, giving every node the period BeaconInterval at the same
 	// staggered offsets (u/N · interval) the per-node tickers used. It
-	// registers after the transport (which NewNetwork registered), so at
-	// equal times a node receives its due beacons before it sends.
+	// registers after the transport (which NewNetwork registered its beacon
+	// and control queues with), so at equal times a node receives its due
+	// beacons before it sends.
 	rt.wheel = newWheelSource(rt)
 	rt.Engine.AddSource(rt.wheel)
 	return nil
+}
+
+// crossGate decides whether event windows may cross the integration tick
+// pending at tickAt, covering the stretch up to the following tick. Every
+// layer must certify quiescence:
+//   - the algorithm can step single nodes (NodeStepper, production trigger
+//     engine);
+//   - the estimate layer reads only querying-node state
+//     (estimate.NodeLocalLayer — Messaging yes, Oracle no), so an estimate
+//     taken between two nodes' lazy applications cannot observe the split;
+//   - the drift schedule supports concurrent rate reads and certifies
+//     constant rates over [tickAt, tickAt+Tick) (drift.ConstantStretch), so
+//     the lazily evaluated Rate(u, tickAt) matches the barrier tick's.
+//
+// The engine adds its own conditions: no serial-source (control) item
+// pending before the limit, and no other global event (scenario step,
+// topology transition, handshake timer) inside the crossed stretch — those
+// handlers read multi-node clock state and require every tick applied.
+func (rt *Runtime) crossGate(tickAt sim.Time) (sim.Time, bool) {
+	st := rt.stepper
+	if st == nil || !st.CanStepNodes() || !rt.driftOK || !rt.estNodeLocal() {
+		return 0, false
+	}
+	cs, ok := rt.driftSrc.(drift.ConstantStretch)
+	if !ok {
+		return 0, false
+	}
+	limit := tickAt + rt.cfg.Tick
+	if cs.RatesConstantUntil(tickAt) < limit {
+		return 0, false
+	}
+	return limit, true
+}
+
+// beginCross arms lazy application of the tick pending at tickAt. Idempotent
+// per tick: several windows can cross the same pending tick, and only the
+// first may bump the epoch — a second bump would unmark already-stepped
+// nodes and double-apply the tick.
+func (rt *Runtime) beginCross(tickAt sim.Time) {
+	if rt.lazyActive && rt.lazyT == tickAt {
+		return
+	}
+	rt.lazyActive = true
+	rt.lazyT = tickAt
+	rt.lazyDt = tickAt - rt.lastTick
+	rt.epochTarget++
+}
+
+// touch applies the crossed tick to node u if the event at hand is at or
+// past the tick and u has not been stepped yet. Called at the top of every
+// per-node event (wheel fire, beacon delivery) — during windows it runs on
+// the worker owning u's event shard, so the epoch marks and the node's
+// clocks are single-writer; the window barriers publish them to later
+// phases.
+func (rt *Runtime) touch(u int, at sim.Time) {
+	if !rt.lazyActive || at < rt.lazyT || rt.nodeEpoch[u] == rt.epochTarget {
+		return
+	}
+	rt.nodeEpoch[u] = rt.epochTarget
+	rt.applyNode(u)
+}
+
+// applyNode performs node u's share of the crossed tick: hardware-clock
+// integration at the certified-constant rate, then the algorithm's fused
+// decide-and-integrate. Mirrors driftShard + Step exactly (same operation
+// order and rounding), so a lazily applied tick is byte-identical to the
+// barrier tick.
+func (rt *Runtime) applyNode(u int) {
+	rate := drift.Clamp(rt.driftSrc.Rate(u, rt.lazyT), 1)
+	dh := rate * rt.lazyDt
+	rt.dH[u] = dh
+	rt.HW[u] += dh
+	rt.stepper.StepNode(u, u%rt.evShards, dh)
 }
 
 // wheelSource is the beacon wheel as a sharded event source. Shard s owns
@@ -326,6 +452,8 @@ func (w *wheelSource) Peek(shard int) sim.Time {
 func (w *wheelSource) FireNext(shard int, now sim.Time) {
 	ws := &w.sh[shard]
 	u := shard + int(ws.idx)*w.k
+	// A crossed tick must be applied to u before its clocks are read.
+	w.rt.touch(u, now)
 	b := transport.Beacon{L: w.rt.algo.Logical(u), M: w.rt.algo.MaxEstimate(u)}
 	ws.scratch = w.rt.Net.BroadcastBeaconAt(u, b, ws.scratch, now)
 	if u+w.k < w.n {
@@ -353,6 +481,28 @@ func (rt *Runtime) Algo() Algorithm { return rt.algo }
 // the serial tick byte for byte. Phase 2 hands the increments to the
 // algorithm, whose Step shards its own phases through ParallelTick.
 func (rt *Runtime) step(t sim.Time, dt float64) {
+	if rt.lazyActive {
+		// The tick was crossed: most nodes were stepped lazily at their first
+		// event touch. Sweep the untouched remainder (in ascending node order,
+		// like the barrier tick), fold the per-shard mode counters, and the
+		// tick is complete — byte-identical to the barrier path because
+		// applyNode mirrors driftShard + Step per node and every touched node
+		// saw exactly one application.
+		if t != rt.lazyT {
+			panic(fmt.Sprintf("runner: crossed tick at %v but ticker fired at %v", rt.lazyT, t))
+		}
+		rt.lazyActive = false
+		for u := 0; u < rt.cfg.N; u++ {
+			if rt.nodeEpoch[u] != rt.epochTarget {
+				rt.nodeEpoch[u] = rt.epochTarget
+				rt.applyNode(u)
+			}
+		}
+		rt.stepper.FinishTick()
+		rt.lastTick = t
+		return
+	}
+	rt.lastTick = t
 	rt.tickT, rt.tickDt = t, dt
 	if rt.pool != nil && rt.driftOK {
 		if p, ok := rt.driftSrc.(drift.TickPreparer); ok {
@@ -419,6 +569,14 @@ func (rt *Runtime) estConcurrent() bool {
 	return ok && c.ConcurrentQueries()
 }
 
+// estNodeLocal reports whether the estimate layer certifies node-local
+// queries (estimate.NodeLocalLayer) — the tick-crossing requirement.
+// Evaluated per gate call, like estConcurrent, in case the layer is swapped.
+func (rt *Runtime) estNodeLocal() bool {
+	c, ok := rt.Est.(estimate.NodeLocalLayer)
+	return ok && c.NodeLocalQueries()
+}
+
 // listener forwards topology transitions to the estimate layer and algorithm.
 type listener struct{ rt *Runtime }
 
@@ -437,6 +595,9 @@ func (l listener) EdgeDown(self, peer int, t sim.Time) {
 type handler struct{ rt *Runtime }
 
 func (h handler) OnBeacon(to, from int, b transport.Beacon, d transport.Delivery) {
+	// A crossed tick must be applied to the receiver before the sample is
+	// stamped (RecordBeacon reads HW[to]) and the algorithm reacts.
+	h.rt.touch(to, d.At)
 	if h.rt.messaging != nil {
 		h.rt.messaging.RecordBeacon(to, from, b, d)
 	}

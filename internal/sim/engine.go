@@ -110,25 +110,99 @@ type Engine struct {
 	validate bool
 
 	// Sharded drain state. shards is the window parallelism K (1 = serial);
-	// sources fire in registration order at equal times. lookahead returns
-	// the conservative window width (min link transit); reference forces the
-	// serially merged drain at any K, retained as the differential oracle.
-	shards       int
-	pool         *par.Pool
-	sources      []Source
-	lookahead    func() float64
-	reference    bool
-	inWindow     bool
-	winEnd       Time
-	winHorizon   Time
-	drainFn      func(shard, lo, hi int)
-	flushFn      func(shard, lo, hi int)
-	shardStepped []shardCount
+	// sources fire in registration order at equal times, with serial sources
+	// (serialSrc) always stepped one item at a time outside windows.
+	// lookahead/shardLookahead return the conservative window width (min link
+	// transit, optionally per receiving shard); reference forces the serially
+	// merged drain at any K, retained as the differential oracle.
+	shards         int
+	pool           *par.Pool
+	sources        []Source
+	serialSrc      []bool
+	lookahead      func() float64
+	shardLookahead func(shard int) float64
+	reference      bool
+	inWindow       bool
+	winEnds        []Time
+	winHorizon     Time
+	drainFn        func(shard, lo, hi int)
+	flushFn        func(shard, lo, hi int)
+	shardStepped   []shardCount
+
+	// Tick-crossing state (SetCrossable): windows may extend past the
+	// registered timer's pending event when the owner's gate allows it.
+	crossTimer *Timer
+	crossGate  func(tickAt Time) (limit Time, ok bool)
+	crossBegin func(tickAt Time)
+
+	stats DrainStats
 
 	// Stepped counts executed events — global events, source fires and
 	// deliveries alike — for diagnostics and tests.
 	Stepped uint64
 }
+
+// DrainStats aggregates sharded-drain observability counters for one engine:
+// how many parallel windows opened, how many source items they drained, what
+// truncated them, and how often they crossed a tick barrier. All counters are
+// updated serially (between windows), so reading them outside RunUntil is
+// race-free. Window counts depend on the shard count and host, so these
+// figures belong in machine-dependent footers, never in deterministic report
+// bodies.
+type DrainStats struct {
+	// Windows is the number of parallel drain windows opened; WindowEvents
+	// the total source items fired inside them.
+	Windows      uint64
+	WindowEvents uint64
+	// SerialSteps counts source items fired one at a time outside windows:
+	// every serial-source item (control deliveries), plus parallel-source
+	// items stepped serially because the lookahead was degenerate. (With
+	// K = 1 or the reference drain no windows open and nothing is tallied.)
+	SerialSteps uint64
+	// GlobalEvents counts global-heap fires (ticks, topology transitions,
+	// scenario events, handshake timers).
+	GlobalEvents uint64
+	// Truncation causes: which bound set the window's effective end —
+	// the next global event (ticks/topology/scenario), a pending control
+	// (serial-source) item the clock was clamped back to, or the lookahead.
+	TruncGlobal    uint64
+	TruncControl   uint64
+	TruncLookahead uint64
+	// CrossedTicks counts windows that extended past a pending tick barrier
+	// (SetCrossable).
+	CrossedTicks uint64
+	// WidthHist is a log₂ histogram of effective window widths: bucket i
+	// covers widths in [2^(i−widthHistZero), 2^(i+1−widthHistZero)), with
+	// under/overflows clamped to the end buckets.
+	WidthHist [20]uint64
+}
+
+// widthHistZero is the bucket index of widths in [1, 2).
+const widthHistZero = 14
+
+func (s *DrainStats) recordWidth(w float64) {
+	_, exp := math.Frexp(w) // w = f·2^exp with f ∈ [0.5, 1)
+	b := exp - 1 + widthHistZero
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(s.WidthHist) {
+		b = len(s.WidthHist) - 1
+	}
+	s.WidthHist[b]++
+}
+
+// MeanEventsPerWindow returns the average number of source items drained per
+// parallel window (0 when no window opened).
+func (s *DrainStats) MeanEventsPerWindow() float64 {
+	if s.Windows == 0 {
+		return 0
+	}
+	return float64(s.WindowEvents) / float64(s.Windows)
+}
+
+// DrainStats returns a snapshot of the sharded-drain counters.
+func (e *Engine) DrainStats() DrainStats { return e.stats }
 
 // NewEngine returns an engine with the clock at time 0. Validation (see
 // SetValidate) starts enabled under `go test` and disabled otherwise.
@@ -185,12 +259,64 @@ func (e *Engine) SetReferenceDrain(on bool) { e.reference = on }
 // minimum time any source item fired now can take to affect another shard
 // (the model's minimum link transit, Delay−Uncertainty). +Inf is sound when
 // no interaction is possible; values ≤ 0 disable windowing (the drain
-// degrades to serial steps).
+// degrades to serial steps). When SetShardLookahead is also installed it
+// takes precedence.
 func (e *Engine) SetLookahead(f func() float64) { e.lookahead = f }
+
+// SetShardLookahead installs a per-receiving-shard window bound: f(s) returns
+// the minimum transit time over every (sender shard → s) pair, so shard s's
+// window may extend to tmin + f(s) even when some other shard pair has a
+// faster link. Soundness: an item fired at t on shard g can affect shard s no
+// earlier than t + pair(g,s) ≥ tmin + f(s), and that holds for g = s too
+// because f(s) ≤ pair(s,s). Overrides SetLookahead when non-nil.
+func (e *Engine) SetShardLookahead(f func(shard int) float64) { e.shardLookahead = f }
+
+// shardLa returns the effective lookahead for shard s.
+func (e *Engine) shardLa(s int) float64 {
+	if e.shardLookahead != nil {
+		return e.shardLookahead(s)
+	}
+	if e.lookahead != nil {
+		return e.lookahead()
+	}
+	return math.Inf(1)
+}
 
 // AddSource registers a source. Registration order is the priority at equal
 // item times: earlier sources fire first.
-func (e *Engine) AddSource(s Source) { e.sources = append(e.sources, s) }
+func (e *Engine) AddSource(s Source) {
+	e.sources = append(e.sources, s)
+	e.serialSrc = append(e.serialSrc, false)
+}
+
+// AddSerialSource registers a source whose items always fire one at a time on
+// the serial path, outside parallel windows — the home of event classes that
+// are receiver-sharded and deterministically ordered but whose handlers need
+// serial-context rights (scheduling global events, reading cross-shard
+// state). Control deliveries live here. Pending serial items do not truncate
+// windows; instead the post-window clock is clamped back to the earliest
+// pending serial item, so it still fires at its own timestamp, exactly as in
+// the serial drain. That clamp is sound because window items commute with the
+// skipped-over serial item: window fires write only per-shard message/beacon
+// state that serial-source handlers never read in their synchronous bodies.
+func (e *Engine) AddSerialSource(s Source) {
+	e.sources = append(e.sources, s)
+	e.serialSrc = append(e.serialSrc, true)
+}
+
+// SetCrossable lets parallel windows extend past tm's pending event (the
+// integration tick in the reproduced system). When tm's event is the earliest
+// global and gate(tickAt) allows it, the window end extends to
+// min(limit, next other global), and begin(tickAt) is invoked — serially,
+// before the window opens — so the owner can switch to lazy tick application
+// for items the window fires past tickAt. begin must be idempotent per
+// tickAt: several windows may cross the same pending tick. Crossing is
+// refused while any serial-source item is pending before limit, so crossed
+// stretches never contain a serial fire. The crossed event itself still fires
+// at its own timestamp as the next global once the clock passes it.
+func (e *Engine) SetCrossable(tm *Timer, gate func(tickAt Time) (limit Time, ok bool), begin func(tickAt Time)) {
+	e.crossTimer, e.crossGate, e.crossBegin = tm, gate, begin
+}
 
 // InWindow reports whether a parallel window drain is in flight. Sources
 // use it to route cross-shard effects to mailboxes; mutating the global
@@ -340,22 +466,29 @@ func (e *Engine) Stop() { e.stopped = true }
 //
 // With Sources registered the drain interleaves three step kinds, always in
 // global (time, priority) order: global events fire serially and win ties;
-// source items fire serially when K = 1 (or under SetReferenceDrain); and
-// with K ≥ 2 source items drain in parallel windows [tmin, wEnd) with
-// wEnd = min(next global event, tmin + lookahead), after which every
-// source's cross-shard mailboxes are folded at the window barrier.
+// source items fire serially when K = 1, under SetReferenceDrain, or when
+// they belong to a serial source; and with K ≥ 2 parallel-source items drain
+// in windows [tmin, wEnd(s)) with a per-shard end
+// wEnd(s) = min(next global event, tmin + lookahead(s)), after which every
+// source's cross-shard mailboxes are folded at the window barrier and the
+// clock advances to min over shards of wEnd(s), clamped back to the earliest
+// pending serial-source item (see AddSerialSource) and to the next-other
+// global when a tick was crossed (see SetCrossable).
 func (e *Engine) RunUntil(horizon Time) {
 	e.stopped = false
 	if len(e.sources) == 0 {
 		e.drainGlobal(horizon)
 		return
 	}
+	if e.winEnds == nil || len(e.winEnds) != e.shards {
+		e.winEnds = make([]Time, e.shards)
+	}
 	for !e.stopped {
 		gAt := math.Inf(1)
 		if len(e.heap) > 0 {
 			gAt = e.recs[e.heap[0]].at
 		}
-		srcMin, src, shard := e.peekSources()
+		srcMin, src, shard, isSerial, serialMin := e.peekSources()
 		if gAt > horizon && srcMin > horizon {
 			break
 		}
@@ -366,25 +499,54 @@ func (e *Engine) RunUntil(horizon Time) {
 			e.fireGlobal()
 			continue
 		}
-		if e.pool == nil || e.reference {
+		if isSerial || e.pool == nil || e.reference {
+			if isSerial && e.pool != nil && !e.reference {
+				e.stats.SerialSteps++
+			}
 			e.fireSource(src, shard, srcMin)
 			continue
 		}
-		la := math.Inf(1)
-		if e.lookahead != nil {
-			la = e.lookahead()
+		// Tick crossing: when the earliest global is the crossable timer and
+		// its owner's gate allows a lazy stretch, the window may extend past
+		// it up to min(gate limit, next other global) — but never past a
+		// pending serial item, whose handler needs every tick applied.
+		gAtEff := gAt
+		if e.crossTimer != nil {
+			if slot, ok := e.lookup(e.crossTimer.h); ok && e.heap[0] == slot {
+				if limit, allow := e.crossGate(gAt); allow && serialMin >= limit && limit > gAt {
+					eff := limit
+					if second := e.secondGlobal(); second < eff {
+						eff = second
+					}
+					if eff > gAt {
+						gAtEff = eff
+						e.crossBegin(gAt)
+						e.stats.CrossedTicks++
+					}
+				}
+			}
 		}
-		wEnd := srcMin + la
-		if wEnd > gAt {
-			wEnd = gAt
+		tmin := srcMin
+		minEnd := math.Inf(1)
+		for s := 0; s < e.shards; s++ {
+			end := gAtEff
+			if w := tmin + e.shardLa(s); w < end {
+				end = w
+			}
+			e.winEnds[s] = end
+			if end < minEnd {
+				minEnd = end
+			}
 		}
-		if !(wEnd > srcMin) {
-			// Degenerate lookahead (≤ 0): no window opens; take one serial
-			// step so the drain still makes progress.
+		if !(e.winEnds[shard] > tmin) {
+			// Degenerate lookahead (≤ 0) on the frontier shard: no window
+			// would admit the earliest item; take one serial step so the
+			// drain still makes progress.
+			e.stats.SerialSteps++
 			e.fireSource(src, shard, srcMin)
 			continue
 		}
-		e.runWindow(srcMin, wEnd, horizon)
+		e.runWindow(tmin, minEnd, serialMin, gAtEff, horizon)
 	}
 	if !e.stopped && e.now < horizon {
 		e.now = horizon
@@ -406,7 +568,11 @@ func (e *Engine) drainGlobal(horizon Time) {
 	}
 }
 
-// fireGlobal pops and executes the earliest global event.
+// fireGlobal pops and executes the earliest global event. The callback
+// receives the event's own timestamp: normally that equals the clock after
+// the forward-only advance (Schedule clamps past times at insert), but a
+// crossed tick legitimately fires with its original time below Now, and its
+// handler must see the tick time, not the advanced clock.
 func (e *Engine) fireGlobal() {
 	slot := e.heap[0]
 	r := &e.recs[slot]
@@ -418,23 +584,46 @@ func (e *Engine) fireGlobal() {
 		e.now = at
 	}
 	e.Stepped++
-	fn(e.now)
+	e.stats.GlobalEvents++
+	fn(at)
 }
 
-// peekSources returns the earliest pending source item over all shards,
-// ties broken by registration order then shard index.
-func (e *Engine) peekSources() (Time, Source, int) {
+// secondGlobal returns the time of the earliest global event other than the
+// heap root — in a 4-ary heap, the minimum over the root's children.
+func (e *Engine) secondGlobal() Time {
 	best := math.Inf(1)
+	n := len(e.heap)
+	for i := 1; i <= 4 && i < n; i++ {
+		if at := e.recs[e.heap[i]].at; at < best {
+			best = at
+		}
+	}
+	return best
+}
+
+// peekSources returns the earliest pending source item over all shards —
+// ties broken by registration order then shard index — whether that item
+// belongs to a serial source, and the earliest pending serial-source item
+// (the window clamp bound).
+func (e *Engine) peekSources() (Time, Source, int, bool, Time) {
+	best := math.Inf(1)
+	serialMin := math.Inf(1)
 	var bs Source
 	bsh := 0
-	for _, s := range e.sources {
+	bser := false
+	for i, s := range e.sources {
+		ser := e.serialSrc[i]
 		for sh := 0; sh < e.shards; sh++ {
-			if t := s.Peek(sh); t < best {
-				best, bs, bsh = t, s, sh
+			t := s.Peek(sh)
+			if t < best {
+				best, bs, bsh, bser = t, s, sh, ser
+			}
+			if ser && t < serialMin {
+				serialMin = t
 			}
 		}
 	}
-	return best, bs, bsh
+	return best, bs, bsh, bser, serialMin
 }
 
 // fireSource executes one source item serially (K = 1, reference mode, or a
@@ -447,45 +636,74 @@ func (e *Engine) fireSource(s Source, shard int, at Time) {
 	s.FireNext(shard, at)
 }
 
-// runWindow drains every source item in [tmin, wEnd) across all shards in
+// runWindow drains every source item in [tmin, winEnds[s]) per shard in
 // parallel, then folds cross-shard mailboxes at the barrier. Two pool
 // fan-outs: the drain phase (shards fire their own items, staging remote
 // effects) and the flush phase (shards fold the mailboxes addressed to
-// them). The window never reaches wEnd, so items a flush materializes —
-// which land at ≥ tmin + lookahead ≥ wEnd by the Source contract — can
-// never have been missed by the window they were created in.
-func (e *Engine) runWindow(tmin, wEnd, horizon Time) {
+// them). Shard s's window never reaches winEnds[s], so items a flush
+// materializes — which land at ≥ tmin + lookahead(s) ≥ winEnds[s] by the
+// Source contract — can never have been missed by the window they were
+// created in.
+//
+// After the barrier the clock advances to minEnd = min over shards of
+// winEnds[s], clamped back to the earliest pending serial-source item: that
+// item must still fire at its own timestamp (its handler's relative timers
+// depend on it), and the clamp is sound because every window fire past it
+// commutes with it. The advance is also capped at the run horizon so
+// RunUntil never overshoots.
+func (e *Engine) runWindow(tmin, minEnd, serialMin, gAtEff, horizon Time) {
 	if tmin > e.now {
 		e.now = tmin
 	}
-	e.winEnd, e.winHorizon = wEnd, horizon
+	e.winHorizon = horizon
 	e.inWindow = true
 	e.pool.Run(e.shards, e.drainFn)
 	e.pool.Run(e.shards, e.flushFn)
 	e.inWindow = false
+	fired := uint64(0)
 	for i := range e.shardStepped {
-		e.Stepped += e.shardStepped[i].n
+		fired += e.shardStepped[i].n
 		e.shardStepped[i].n = 0
 	}
-	if wEnd > horizon {
-		wEnd = horizon
+	e.Stepped += fired
+	e.stats.Windows++
+	e.stats.WindowEvents += fired
+	adv := minEnd
+	switch {
+	case serialMin < adv:
+		adv = serialMin
+		e.stats.TruncControl++
+	case adv >= gAtEff:
+		e.stats.TruncGlobal++
+	default:
+		e.stats.TruncLookahead++
 	}
-	if wEnd > e.now {
-		e.now = wEnd
+	e.stats.recordWidth(adv - tmin)
+	if adv > horizon {
+		adv = horizon
+	}
+	if adv > e.now {
+		e.now = adv
 	}
 }
 
 // drainShards fires, per shard, every source item strictly before the
-// window end (and not beyond the run horizon), merging the shard's sources
-// by (time, registration order).
+// shard's window end (and not beyond the run horizon), merging the shard's
+// sources by (time, registration order).
 func (e *Engine) drainShards(_, lo, hi int) {
-	wEnd, horizon := e.winEnd, e.winHorizon
+	horizon := e.winHorizon
 	for sh := lo; sh < hi; sh++ {
+		wEnd := e.winEnds[sh]
 		fired := uint64(0)
 		for {
 			best := math.Inf(1)
 			var bs Source
-			for _, s := range e.sources {
+			for i, s := range e.sources {
+				if e.serialSrc[i] {
+					// Serial-source items never fire inside windows; the
+					// post-window clock clamp routes them to the serial path.
+					continue
+				}
 				if t := s.Peek(sh); t < best {
 					best, bs = t, s
 				}
@@ -693,3 +911,7 @@ func (tk *Ticker) Stop() {
 	tk.stopped = true
 	tk.timer.Stop()
 }
+
+// Timer exposes the ticker's underlying timer, the handle SetCrossable needs
+// to recognize the pending tick on the global heap.
+func (tk *Ticker) Timer() *Timer { return tk.timer }

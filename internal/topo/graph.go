@@ -146,6 +146,16 @@ type Dynamic struct {
 	// does not raise the bound), which keeps it sound without rescanning:
 	// the true minimum over declared links can never be below it.
 	minTransit float64
+	// Per-shard-pair transit bounds for the sharded drain (kShards = the
+	// engine's event parallelism; nodes map to shards by id mod kShards).
+	// pairTransit[g*kShards+s] is the ratcheted minimum Delay−Uncertainty
+	// over links from a node in shard g to a node in shard s; inMin[s] is the
+	// minimum over all incoming pairs — the bound InTransit feeds the drain.
+	// Both ratchet exactly like minTransit; RecomputeTransit rescans on
+	// demand after churn retires fast links.
+	kShards     int
+	pairTransit []float64
+	inMin       []float64
 	// onDeclare hooks run after each newly declared link (never for
 	// re-declares); the estimate layers use them to pre-register sample
 	// slots so beacon ingestion stays structurally read-only.
@@ -170,16 +180,30 @@ type Dynamic struct {
 // NewDynamic creates a graph over n nodes with no edges. The listener may be
 // nil (useful in tests); SetListener installs it later.
 func NewDynamic(n int, engine *sim.Engine, rng *sim.RNG) *Dynamic {
-	return &Dynamic{
-		n:          n,
-		engine:     engine,
-		rng:        rng,
-		idx:        make(map[uint64]int32),
-		adj:        csr.NewRows(n),
-		classIdx:   make(map[LinkParams]int32),
-		churn:      make(map[int32]*churnState),
-		minTransit: math.Inf(1),
+	k := 1
+	if engine != nil {
+		k = engine.EventShards()
 	}
+	d := &Dynamic{
+		n:           n,
+		engine:      engine,
+		rng:         rng,
+		idx:         make(map[uint64]int32),
+		adj:         csr.NewRows(n),
+		classIdx:    make(map[LinkParams]int32),
+		churn:       make(map[int32]*churnState),
+		minTransit:  math.Inf(1),
+		kShards:     k,
+		pairTransit: make([]float64, k*k),
+		inMin:       make([]float64, k),
+	}
+	for i := range d.pairTransit {
+		d.pairTransit[i] = math.Inf(1)
+	}
+	for i := range d.inMin {
+		d.inMin[i] = math.Inf(1)
+	}
+	return d
 }
 
 // SetReferenceLayout switches between the structure-of-arrays layout (false,
@@ -206,6 +230,62 @@ func (d *Dynamic) SetReferenceLayout(ref bool) {
 // it is always a sound (if conservative) window bound for the sharded event
 // drain: no message can cross a link faster.
 func (d *Dynamic) MinTransit() float64 { return d.minTransit }
+
+// InTransit returns the minimum Delay−Uncertainty over every link whose
+// receiver lives in event shard s (ratcheted like MinTransit, per
+// sender-shard pair), or +Inf when shard s has no incoming links. This is
+// the per-shard lookahead of the sharded drain: no message can reach a node
+// of shard s faster, from any shard — including s itself.
+func (d *Dynamic) InTransit(s int) float64 { return d.inMin[s] }
+
+// PairTransit returns the ratcheted minimum transit bound for links from
+// sender shard g to receiver shard s (+Inf when no such link was declared).
+func (d *Dynamic) PairTransit(g, s int) float64 { return d.pairTransit[g*d.kShards+s] }
+
+// pairRatchet folds one directed link bound into the K×K matrix.
+func (d *Dynamic) pairRatchet(from, to int, mt float64) {
+	g, s := from%d.kShards, to%d.kShards
+	if i := g*d.kShards + s; mt < d.pairTransit[i] {
+		d.pairTransit[i] = mt
+		if mt < d.inMin[s] {
+			d.inMin[s] = mt
+		}
+	}
+}
+
+// RecomputeTransit rescans every currently declared link and resets the
+// global and per-pair transit bounds to the true minima, undoing the ratchet
+// for links that have since been undeclared or re-declared slower. Purely a
+// performance lever for the drain lookahead — window layout never affects
+// results — so callers invoke it explicitly (e.g. after churn retires a
+// fast edge class) from a serial context, never inside a window.
+func (d *Dynamic) RecomputeTransit() {
+	inf := math.Inf(1)
+	d.minTransit = inf
+	for i := range d.pairTransit {
+		d.pairTransit[i] = inf
+	}
+	for i := range d.inMin {
+		d.inMin[i] = inf
+	}
+	visit := func(u, v int, p LinkParams) {
+		mt := p.Delay - p.Uncertainty
+		if mt < d.minTransit {
+			d.minTransit = mt
+		}
+		d.pairRatchet(u, v, mt)
+		d.pairRatchet(v, u, mt)
+	}
+	if d.ref != nil {
+		for id, e := range d.ref.edges {
+			visit(id.U, id.V, e.params)
+		}
+		return
+	}
+	for _, slot := range d.idx {
+		visit(int(d.eU[slot]), int(d.eV[slot]), d.classes[d.eClass[slot]])
+	}
+}
 
 // SetListener installs the visibility-transition listener.
 func (d *Dynamic) SetListener(l Listener) { d.listener = l }
@@ -243,9 +323,12 @@ func (d *Dynamic) DeclareLink(a, b int, p LinkParams) error {
 		return err
 	}
 	id := MakeEdgeID(a, b)
-	if mt := p.Delay - p.Uncertainty; mt < d.minTransit {
+	mt := p.Delay - p.Uncertainty
+	if mt < d.minTransit {
 		d.minTransit = mt
 	}
+	d.pairRatchet(a, b, mt)
+	d.pairRatchet(b, a, mt)
 	if d.ref != nil {
 		if ex, ok := d.ref.edges[id]; ok {
 			ex.params = p

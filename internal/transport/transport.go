@@ -7,6 +7,7 @@ package transport
 
 import (
 	"math"
+	"unsafe"
 
 	"repro/internal/sim"
 	"repro/internal/topo"
@@ -91,18 +92,23 @@ func (s ShiftDelay) Draw(_ *sim.Stream, from, to int, p topo.LinkParams) float64
 
 // message is one pooled in-flight beacon record. Records are recycled
 // through a per-shard free list, so the steady-state send/deliver path
-// allocates nothing.
+// allocates nothing. Fields are packed to keep the record at 56 bytes
+// (int32 ids, uint32 seq) — in-flight slabs are a top-line memory consumer
+// at N=10⁷.
 type message struct {
 	from, to int32
-	// seq is the sender's send counter, the last tie-break of the content
-	// key: it preserves FIFO among same-(from,to) same-deadline beacons and
-	// — unlike a global sequence — is identical at every shard count.
-	seq        uint64
+	// seq is the sender's beacon send counter, the last tie-break of the
+	// content key: it preserves FIFO among same-(from,to) same-deadline
+	// beacons and — unlike a global sequence — is identical at every shard
+	// count. uint32 wraps after 4.3·10⁹ sends per sender, orders of
+	// magnitude beyond any run, and a wrap could only reorder same-deadline
+	// same-pair messages.
+	seq        uint32
+	pos        int32 // index in netShard.heap; -1 while free
 	deadline   sim.Time
 	sentAt     sim.Time
 	minTransit float64
 	beacon     Beacon
-	pos        int32 // index in netShard.heap; -1 while free
 }
 
 // netShard owns the in-flight beacons addressed to the receivers it is
@@ -127,12 +133,17 @@ type netShard struct {
 //
 // Beacons — the high-volume traffic — live in per-shard pooled deadline
 // queues registered with the engine as a sim.Source, which is what the
-// sharded event drain parallelizes. Control messages (handshake-rate, and
-// their handlers reschedule global events) stay on the engine's global
-// queue as pooled events. Delivery order at equal deadlines is the content
-// key (deadline, to, from, sender-seq) — deterministic and independent of
-// the shard count; controls keep engine FIFO order among themselves and,
-// like every global event, fire before source items due at the same time.
+// sharded event drain parallelizes. Control messages (handshake-rate) live
+// in their own receiver-sharded pooled queues registered as a *serial*
+// source (sim.Engine.AddSerialSource): their handlers need serial-context
+// rights — they schedule global retry timers and read cross-shard skew
+// state — so each control fires one at a time at its own timestamp, but a
+// pending control no longer truncates parallel windows; the engine clamps
+// the post-window clock back to it instead. Delivery order at equal
+// deadlines is the content key (deadline, to, from, sender-seq) for both
+// classes — deterministic and independent of the shard count — with beacons
+// due at the same instant delivered before controls (source registration
+// order) and global events before either.
 //
 // The slab/free-list/4-ary-heap machinery deliberately mirrors
 // internal/sim's event queue (see Engine); a change to either sift or
@@ -144,26 +155,38 @@ type Network struct {
 	handler Handler
 
 	shards []netShard
-	// streams holds each sender's private delay-draw stream; senderSeq its
-	// beacon send counter. Both are indexed by sender and touched only from
-	// the sender's own event context.
+	// streams holds each sender's private delay-draw stream; senderSeq and
+	// ctlSeq its beacon and control send counters (separate streams keep
+	// each class's content keys dense and self-contained). All are indexed
+	// by sender and touched only from the sender's own event context.
 	streams   []sim.Stream
-	senderSeq []uint64
+	senderSeq []uint32
+	ctlSeq    []uint32
 
-	// ctl is the pooled slab of in-flight control messages; each slot's
-	// fire closure is built once and rescheduled forever.
-	ctl     []control
-	ctlFree []int32
+	// ctlShards are the receiver-sharded pooled control queues, drained
+	// through the controlQueue serial source.
+	ctlShards []ctlShard
 }
 
-// control is one pooled in-flight control message, delivered by its own
-// global engine event.
+// control is one pooled in-flight control message.
 type control struct {
 	from, to   int32
+	seq        uint32 // sender's control send counter (content-key tie-break)
+	pos        int32  // index in ctlShard.heap; -1 while free
 	sentAt     sim.Time
+	deadline   sim.Time
 	minTransit float64
 	payload    any
-	fire       func(t sim.Time)
+}
+
+// ctlShard owns the in-flight controls addressed to the receivers it is
+// keyed to (shard = receiver mod K). Controls are only pushed and popped in
+// serial contexts, so unlike netShard it needs no outboxes or counter
+// padding.
+type ctlShard struct {
+	ctls []control // pooled record slab
+	free []int32   // recycled slots
+	heap []int32   // 4-ary min-heap of slots, ordered by the content key
 }
 
 // NewNetwork wires a transport over the given graph and registers it as an
@@ -185,8 +208,11 @@ func NewNetwork(engine *sim.Engine, dyn *topo.Dynamic, rng *sim.RNG, policy Dela
 	for u := range n.streams {
 		n.streams[u] = sim.NewStream(base, u)
 	}
-	n.senderSeq = make([]uint64, dyn.N())
+	n.senderSeq = make([]uint32, dyn.N())
+	n.ctlSeq = make([]uint32, dyn.N())
+	n.ctlShards = make([]ctlShard, k)
 	engine.AddSource(n)
+	engine.AddSerialSource((*controlQueue)(n))
 	return n
 }
 
@@ -213,6 +239,36 @@ func (n *Network) Dropped() uint64 {
 		sum += n.shards[s].dropped
 	}
 	return sum
+}
+
+// SlabBytes returns the bytes retained by the transport's pooled storage:
+// message and control slabs, their heaps, free lists and outboxes, plus the
+// per-sender streams and sequence counters. Capacities grow append-only from
+// deterministic traffic, so for a fixed configuration the figure is exact
+// and reproducible — the transport's line in the memory-diet regression gate
+// (TestTransportSlabFootprintRing), complementing the whole-process live-heap
+// measurement.
+func (n *Network) SlabBytes() uint64 {
+	const slotBytes = 4 // heap/free entries are int32 slots
+	total := uint64(0)
+	msgSize := uint64(unsafe.Sizeof(message{}))
+	for s := range n.shards {
+		sh := &n.shards[s]
+		total += uint64(cap(sh.msgs)) * msgSize
+		total += uint64(cap(sh.free)+cap(sh.heap)) * slotBytes
+		for d := range sh.out {
+			total += uint64(cap(sh.out[d])) * msgSize
+		}
+	}
+	ctlSize := uint64(unsafe.Sizeof(control{}))
+	for s := range n.ctlShards {
+		sh := &n.ctlShards[s]
+		total += uint64(cap(sh.ctls)) * ctlSize
+		total += uint64(cap(sh.free)+cap(sh.heap)) * slotBytes
+	}
+	total += uint64(len(n.streams)) * uint64(unsafe.Sizeof(sim.Stream{}))
+	total += uint64(cap(n.senderSeq)+cap(n.ctlSeq)) * slotBytes
+	return total
 }
 
 // SendBeacon transmits a beacon from → to if the link is declared, stamped
@@ -264,10 +320,15 @@ func (n *Network) SendBeaconAt(from, to int, b Beacon, at sim.Time) {
 }
 
 // SendControl transmits an arbitrary control payload (handshake messages)
-// as a pooled global engine event. Control senders are global events
-// themselves (handshake timers, OnControl handlers), so this never runs
-// inside a parallel window.
+// into the receiver-sharded control queue. Control senders are serial
+// contexts themselves — handshake timers, OnControl handlers, topology
+// transitions — so sending from inside a parallel window is a contract
+// violation and panics (window items have no path that sends controls; if
+// one grows, controls would need outbox staging like beacons).
 func (n *Network) SendControl(from, to int, payload any) {
+	if n.engine.InWindow() {
+		panic("transport: SendControl during a parallel window")
+	}
 	params, ok := n.dyn.Params(from, to)
 	if !ok {
 		return
@@ -282,14 +343,17 @@ func (n *Network) SendControl(from, to int, payload any) {
 	if delay > params.Delay {
 		delay = params.Delay
 	}
-	slot := n.ctlAlloc()
-	c := &n.ctl[slot]
-	c.from = int32(from)
-	c.to = int32(to)
-	c.sentAt = at
-	c.minTransit = minTransit
-	c.payload = payload
-	n.engine.Schedule(at+delay, c.fire)
+	c := control{
+		from:       int32(from),
+		to:         int32(to),
+		seq:        n.ctlSeq[from],
+		sentAt:     at,
+		deadline:   at + delay,
+		minTransit: minTransit,
+		payload:    payload,
+	}
+	n.ctlSeq[from]++
+	n.ctlShards[to%len(n.ctlShards)].push(c)
 }
 
 // BroadcastBeacon sends the beacon to every neighbor currently visible to
@@ -359,22 +423,43 @@ func (n *Network) Flush(shard int) {
 	}
 }
 
-// deliverControl fires a pooled control slot's global event.
-func (n *Network) deliverControl(slot int32, t sim.Time) {
-	c := &n.ctl[slot]
+// controlQueue is the Network's serial-source face for control deliveries:
+// the same receiver-sharded pooled-heap shape as beacons, but registered
+// with sim.Engine.AddSerialSource so every control fires one at a time in a
+// serial context (handlers schedule global retry timers).
+type controlQueue Network
+
+// Peek implements sim.Source: the earliest pending control deadline of the
+// shard, or +Inf when none.
+func (q *controlQueue) Peek(shard int) sim.Time {
+	sh := &q.ctlShards[shard]
+	if len(sh.heap) == 0 {
+		return math.Inf(1)
+	}
+	return sh.ctls[sh.heap[0]].deadline
+}
+
+// FireNext implements sim.Source: deliver the shard's earliest control.
+// Always invoked on the engine's serial path.
+func (q *controlQueue) FireNext(shard int, now sim.Time) {
+	n := (*Network)(q)
+	sh := &q.ctlShards[shard]
+	slot := sh.heap[0]
+	c := &sh.ctls[slot]
 	from, to := int(c.from), int(c.to)
 	payload := c.payload
 	d := Delivery{
 		From:       from,
 		To:         to,
 		SentAt:     c.sentAt,
-		At:         t,
+		At:         now,
 		MinTransit: c.minTransit,
 	}
 	// Release before handling: dropping the payload reference frees boxed
 	// controls, and the handler may send again, reusing the slot.
 	c.payload = nil
-	n.ctlFree = append(n.ctlFree, slot)
+	sh.removeAt(0)
+	sh.release(slot)
 	if n.handler == nil || !n.dyn.Sees(to, from) {
 		n.shards[to%len(n.shards)].dropped++
 		return
@@ -382,19 +467,9 @@ func (n *Network) deliverControl(slot int32, t sim.Time) {
 	n.handler.OnControl(to, from, payload, d)
 }
 
-// ctlAlloc takes a control slot from the free list, growing the slab (and
-// binding the slot's fire closure, once) only when the pool is dry.
-func (n *Network) ctlAlloc() int32 {
-	if l := len(n.ctlFree); l > 0 {
-		slot := n.ctlFree[l-1]
-		n.ctlFree = n.ctlFree[:l-1]
-		return slot
-	}
-	slot := int32(len(n.ctl))
-	n.ctl = append(n.ctl, control{})
-	n.ctl[slot].fire = func(t sim.Time) { n.deliverControl(slot, t) }
-	return slot
-}
+// Flush implements sim.Source: controls are never staged (SendControl panics
+// inside windows), so there is nothing to fold.
+func (q *controlQueue) Flush(int) {}
 
 // push inserts a message into the shard's pooled deadline queue.
 func (sh *netShard) push(m message) {
@@ -499,6 +574,108 @@ func (sh *netShard) removeAt(i int) {
 	sh.msgs[last].pos = int32(i)
 	sh.siftDown(i)
 	if int(sh.msgs[last].pos) == i {
+		sh.siftUp(i)
+	}
+}
+
+// push inserts a control into the shard's pooled deadline queue.
+func (sh *ctlShard) push(c control) {
+	slot := sh.alloc()
+	r := &sh.ctls[slot]
+	*r = c
+	r.pos = int32(len(sh.heap))
+	sh.heap = append(sh.heap, slot)
+	sh.siftUp(int(r.pos))
+}
+
+func (sh *ctlShard) alloc() int32 {
+	if l := len(sh.free); l > 0 {
+		slot := sh.free[l-1]
+		sh.free = sh.free[:l-1]
+		return slot
+	}
+	sh.ctls = append(sh.ctls, control{pos: -1})
+	return int32(len(sh.ctls) - 1)
+}
+
+func (sh *ctlShard) release(slot int32) {
+	sh.ctls[slot].pos = -1
+	sh.free = append(sh.free, slot)
+}
+
+// less orders controls by the same content-key shape as beacons:
+// (deadline, to, from, sender-ctl-seq).
+func (sh *ctlShard) less(a, b int32) bool {
+	ca, cb := &sh.ctls[a], &sh.ctls[b]
+	if ca.deadline != cb.deadline {
+		return ca.deadline < cb.deadline
+	}
+	if ca.to != cb.to {
+		return ca.to < cb.to
+	}
+	if ca.from != cb.from {
+		return ca.from < cb.from
+	}
+	return ca.seq < cb.seq
+}
+
+func (sh *ctlShard) siftUp(i int) {
+	h := sh.heap
+	slot := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !sh.less(slot, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		sh.ctls[h[i]].pos = int32(i)
+		i = p
+	}
+	h[i] = slot
+	sh.ctls[slot].pos = int32(i)
+}
+
+func (sh *ctlShard) siftDown(i int) {
+	h := sh.heap
+	l := len(h)
+	slot := h[i]
+	for {
+		c := i<<2 + 1
+		if c >= l {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > l {
+			end = l
+		}
+		for j := c + 1; j < end; j++ {
+			if sh.less(h[j], h[best]) {
+				best = j
+			}
+		}
+		if !sh.less(h[best], slot) {
+			break
+		}
+		h[i] = h[best]
+		sh.ctls[h[i]].pos = int32(i)
+		i = best
+	}
+	h[i] = slot
+	sh.ctls[slot].pos = int32(i)
+}
+
+func (sh *ctlShard) removeAt(i int) {
+	l := len(sh.heap) - 1
+	last := sh.heap[l]
+	sh.heap = sh.heap[:l]
+	if i == l {
+		return
+	}
+	sh.heap[i] = last
+	sh.ctls[last].pos = int32(i)
+	sh.siftDown(i)
+	if int(sh.ctls[last].pos) == i {
 		sh.siftUp(i)
 	}
 }

@@ -192,13 +192,16 @@ func TestMessagePoolRecycles(t *testing.T) {
 		net.SendBeacon(1, 0, Beacon{L: float64(round)})
 		eng.RunUntil(eng.Now() + 1)
 	}
-	beaconSlab := 0
+	beaconSlab, ctlSlab := 0, 0
 	for s := range net.shards {
 		beaconSlab += len(net.shards[s].msgs)
 	}
-	if beaconSlab > 8 || len(net.ctl) > 8 {
+	for s := range net.ctlShards {
+		ctlSlab += len(net.ctlShards[s].ctls)
+	}
+	if beaconSlab > 8 || ctlSlab > 8 {
 		t.Fatalf("slabs grew to %d beacon / %d control records for ≤2 in-flight messages — pool not recycling",
-			beaconSlab, len(net.ctl))
+			beaconSlab, ctlSlab)
 	}
 	if len(cap.payloads) != 500 || len(cap.values) != 500 {
 		t.Fatalf("delivered %d controls / %d beacons, want 500 each", len(cap.payloads), len(cap.values))
@@ -209,9 +212,11 @@ func TestMessagePoolRecycles(t *testing.T) {
 		}
 	}
 	// Released control records must have dropped their payload references.
-	for slot := range net.ctl {
-		if net.ctl[slot].payload != nil {
-			t.Fatalf("free control record %d still holds a payload reference", slot)
+	for s := range net.ctlShards {
+		for slot := range net.ctlShards[s].ctls {
+			if net.ctlShards[s].ctls[slot].payload != nil {
+				t.Fatalf("free control record %d still holds a payload reference", slot)
+			}
 		}
 	}
 }

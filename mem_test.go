@@ -61,3 +61,35 @@ func TestMemoryFootprintRing(t *testing.T) {
 		t.Errorf("SoA layout holds %d B live heap, reference layout %d B — the memory diet regressed", soaHeap, refHeap)
 	}
 }
+
+// TestTransportSlabFootprintRing extends the memory-diet gate to the
+// transport: the pooled slab bytes (messages, controls, heaps, free lists,
+// outboxes, per-sender streams and counters) reported by Network.SlabBytes
+// are exact and deterministic for a fixed configuration — traffic is
+// deterministic and slabs grow append-only — so the per-node figure is
+// pinned against a hard bound rather than a relative comparison. The bound
+// has ~1.5× headroom over the measured steady state (≈61 B/node on a ring:
+// in-flight beacons cover Delay/BeaconInterval of the per-node send rate,
+// plus 24 B of stream + counter state); packing regressions (message record
+// growth, outbox headroom creep) blow through it.
+func TestTransportSlabFootprintRing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory measurement builds a full network")
+	}
+	const n = 20000
+	net := gradsync.MustNew(gradsync.Config{
+		Topology:     gradsync.RingTopology(n),
+		DiameterHint: n / 2,
+		Drift:        gradsync.TwoGroupDrift(n / 2),
+		Estimates:    gradsync.MessagingEstimates(false),
+		Seed:         7,
+	})
+	net.RunFor(0.6) // a full beacon round at steady in-flight population
+	slab := net.Runtime().Net.SlabBytes()
+	perNode := float64(slab) / float64(n)
+	t.Logf("N=%d ring: transport slabs %.2f MiB (%.1f B/node)", n, float64(slab)/(1<<20), perNode)
+	const maxBytesPerNode = 96
+	if perNode > maxBytesPerNode {
+		t.Errorf("transport retains %.1f B/node, bound %d — per-node transport state regressed", perNode, maxBytesPerNode)
+	}
+}

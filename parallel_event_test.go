@@ -51,6 +51,118 @@ func TestShardedDrainDifferential(t *testing.T) {
 	}
 }
 
+// TestTickCrossingDifferential pins the tick-crossing window extension on
+// the full stack: a messaging-estimate run under a constant-stretch drift
+// adversary — the configuration where every quiescence gate opens — must be
+// bit-identical across every (EventParallelism, TickParallelism) combination
+// and the reference drain, while the parallel runs actually cross ticks.
+func TestTickCrossingDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential replays take a few seconds")
+	}
+	const n = 120
+	build := func(tickPar, evPar int) gradsync.Config {
+		return gradsync.Config{
+			Topology:         gradsync.RingTopology(n),
+			Drift:            gradsync.TwoGroupDrift(n / 2),
+			Estimates:        gradsync.MessagingEstimates(false),
+			Scenario:         &scenario.Churn{Every: 2.5},
+			TickParallelism:  tickPar,
+			EventParallelism: evPar,
+			Seed:             17,
+		}
+	}
+	run := func(tickPar, evPar int, reference bool) (tickFingerprint, uint64) {
+		net := gradsync.MustNew(build(tickPar, evPar))
+		if reference {
+			net.Runtime().Engine.SetReferenceDrain(true)
+		}
+		net.RunFor(12)
+		return fingerprint(net), net.Runtime().Engine.DrainStats().CrossedTicks
+	}
+	serial, crossed := run(1, 1, false)
+	if crossed != 0 {
+		t.Fatalf("serial run crossed %d ticks; crossing must be a parallel-only path", crossed)
+	}
+	anyCrossed := false
+	for _, tickPar := range []int{1, 8} {
+		for _, evPar := range []int{2, 8} {
+			fp, crossed := run(tickPar, evPar, false)
+			if d := serial.diff(fp); d != "" {
+				t.Fatalf("EventParallelism %d × TickParallelism %d diverged from serial: %s", evPar, tickPar, d)
+			}
+			if crossed > 0 {
+				anyCrossed = true
+			}
+		}
+	}
+	if !anyCrossed {
+		t.Error("no parallel run crossed a tick; the quiescence gate never opened")
+	}
+	fp, _ := run(1, 8, true)
+	if d := serial.diff(fp); d != "" {
+		t.Fatalf("reference drain diverged from serial: %s", d)
+	}
+	// Oracle estimates read the queried node's true clock — not node-local —
+	// so the gate must stay closed.
+	oracle := gradsync.MustNew(gradsync.Config{
+		Topology:         gradsync.RingTopology(n),
+		Drift:            gradsync.TwoGroupDrift(n / 2),
+		EventParallelism: 8,
+		Seed:             17,
+	})
+	oracle.RunFor(4)
+	if c := oracle.Runtime().Engine.DrainStats().CrossedTicks; c != 0 {
+		t.Errorf("oracle-backed run crossed %d ticks; estimate layer is not node-local", c)
+	}
+}
+
+// TestHandshakeStormParallelWindows is the control-plane regression: under
+// heavy churn the edge-insertion handshakes flood the network with control
+// messages, which used to truncate every window at the next pending control.
+// With the receiver-sharded serial control queue the beacon traffic must
+// keep draining in multi-event parallel windows — byte-identically with the
+// serial run — while the controls take the serial path.
+func TestHandshakeStormParallelWindows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("storm replay takes a few seconds")
+	}
+	const n = 300
+	build := func(evPar int) gradsync.Config {
+		return gradsync.Config{
+			Topology:         gradsync.RingTopology(n),
+			Drift:            gradsync.TwoGroupDrift(n / 2),
+			Estimates:        gradsync.MessagingEstimates(false),
+			Scenario:         &scenario.Churn{Every: 0.4},
+			EventParallelism: evPar,
+			Seed:             5,
+		}
+	}
+	run := func(evPar int) (tickFingerprint, *gradsync.Network) {
+		net := gradsync.MustNew(build(evPar))
+		net.RunFor(10)
+		return fingerprint(net), net
+	}
+	serial, _ := run(1)
+	fp, net := run(8)
+	if d := serial.diff(fp); d != "" {
+		t.Fatalf("EventParallelism 8 diverged from serial under handshake storm: %s", d)
+	}
+	st := net.Runtime().Engine.DrainStats()
+	if core := net.Core(); core == nil || core.Insertions == 0 {
+		t.Fatal("storm produced no edge insertions; scenario too tame to test the control plane")
+	}
+	if st.SerialSteps == 0 {
+		t.Error("no serial steps: handshake controls never took the serial path")
+	}
+	if st.Windows == 0 {
+		t.Fatal("no parallel windows drained")
+	}
+	if mean := st.MeanEventsPerWindow(); mean <= 1 {
+		t.Errorf("mean events per window %.2f; controls are still serializing the drain", mean)
+	}
+}
+
 // TestShardedDrainScaleRing is the at-scale replay: a 2000-node ring with
 // chord churn — the E15/E16 shape — compared serial vs 8 event shards
 // stacked on 8 tick shards, so the two fan-outs are exercised together the
