@@ -15,8 +15,12 @@ vet:
 # Static analysis beyond vet. The tree (including the -tags large files)
 # must stay clean. staticcheck is not vendored; the lint CI job installs it,
 # and a machine without it still gets the vet pass instead of a hard error.
+# staticcheck.conf adds ST1000 (package doc comments) to the default checks.
+# mdlint (in-repo, no dependency) verifies every local link in the markdown
+# docs resolves.
 lint: vet
 	$(GO) vet -tags large ./...
+	$(GO) run ./cmd/mdlint *.md
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./... && staticcheck -tags large ./...; \
 	else \

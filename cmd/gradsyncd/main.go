@@ -1,0 +1,258 @@
+// Command gradsyncd runs a live gradient clock synchronization network and
+// serves its state over HTTP: per-node clocks, local/global skew against the
+// gradient target, legality, and transport statistics, all as JSON. One
+// process can host the whole network, or several processes can each host a
+// slice of the node ids and peer over TCP with the length-prefixed beacon
+// codec (internal/transport wire format).
+//
+// Examples:
+//
+//	gradsyncd -topo ring -n 16 -listen 127.0.0.1:8470
+//	gradsyncd -topo ring -n 16 -trace run.trace   # record a replayable trace
+//
+//	# the same 8-ring split across two processes:
+//	gradsyncd -topo ring -n 8 -own 0-3 -listen :8470 -peer-listen :9470 \
+//	    -peer 127.0.0.1:9471=4-7
+//	gradsyncd -topo ring -n 8 -own 4-7 -listen :8471 -peer-listen :9471 \
+//	    -peer 127.0.0.1:9470=0-3
+//
+// Endpoints:
+//
+//	GET /healthz            liveness + sim time
+//	GET /v1/clock           all hosted nodes' clocks
+//	GET /v1/clock?node=3    one node's clocks
+//	GET /v1/skew            skew report (global, max local, bound 2·S)
+//	GET /v1/legality        legality verdict against the gradient target
+//	GET /v1/stats           queue/trace counters
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/live"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gradsyncd:", err)
+		os.Exit(1)
+	}
+}
+
+// peerFlag is one -peer value: addr=lo-hi, a TCP peer hosting a node range.
+type peerFlag struct {
+	addr  string
+	nodes []int
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gradsyncd", flag.ContinueOnError)
+	var (
+		topoName   = fs.String("topo", "ring", "topology: ring, line or star")
+		n          = fs.Int("n", 16, "total node count across all processes")
+		s          = fs.Float64("s", 1, "gradient block size S (legality bound is 2S)")
+		mu         = fs.Float64("mu", 0.1, "fast-mode boost µ")
+		tick       = fs.Float64("tick", 0.05, "integration step, sim units")
+		beacon     = fs.Float64("beacon", 0.25, "beacon interval, sim units")
+		timescale  = fs.Duration("timescale", 20*time.Millisecond, "real duration of one sim unit")
+		queueCap   = fs.Int("queue", 64, "per-peer send queue capacity")
+		block      = fs.Bool("block", false, "block senders on full queues instead of shedding beacons")
+		tracePath  = fs.String("trace", "", "record a replayable trace to this file")
+		listen     = fs.String("listen", "127.0.0.1:8470", "HTTP listen address")
+		own        = fs.String("own", "", "node ids hosted here, as lo-hi (default: all)")
+		peerListen = fs.String("peer-listen", "", "TCP listen address for inbound peer beacons")
+	)
+	var peers []peerFlag
+	fs.Func("peer", "peer TCP address and its node range, as addr=lo-hi (repeatable)", func(v string) error {
+		addr, rng, ok := strings.Cut(v, "=")
+		if !ok {
+			return fmt.Errorf("want addr=lo-hi, got %q", v)
+		}
+		nodes, err := parseRange(rng)
+		if err != nil {
+			return err
+		}
+		peers = append(peers, peerFlag{addr: addr, nodes: nodes})
+		return nil
+	})
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	edges, err := buildEdges(*topoName, *n)
+	if err != nil {
+		return err
+	}
+	cfg := live.Config{
+		N: *n, Edges: edges,
+		S: *s, Mu: *mu,
+		Tick: *tick, BeaconInterval: *beacon,
+		TimeScale:     *timescale,
+		QueueCapacity: *queueCap,
+	}
+	if *block {
+		cfg.QueuePolicy = live.Block
+	}
+	if *own != "" {
+		if cfg.Owned, err = parseRange(*own); err != nil {
+			return fmt.Errorf("-own: %w", err)
+		}
+	}
+	var traceFile *os.File
+	if *tracePath != "" {
+		traceFile, err = os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer traceFile.Close()
+		cfg.Trace = traceFile
+	}
+
+	c, err := live.NewCluster(cfg)
+	if err != nil {
+		return err
+	}
+	if *peerListen != "" {
+		ln, err := net.Listen("tcp", *peerListen)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		go c.ServePeers(ln)
+	}
+	for _, p := range peers {
+		// Peers start independently; retry briefly so launch order between
+		// the processes of one deployment doesn't matter.
+		if err := connectWithRetry(c, p, 50, 100*time.Millisecond); err != nil {
+			return fmt.Errorf("peer %s: %w", p.addr, err)
+		}
+	}
+
+	c.Start()
+	defer c.Stop()
+
+	srv := &http.Server{Addr: *listen, Handler: newHandler(c)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case <-sigCh:
+	}
+	srv.Close()
+	return c.Stop()
+}
+
+func connectWithRetry(c *live.Cluster, p peerFlag, attempts int, wait time.Duration) error {
+	var err error
+	for i := 0; i < attempts; i++ {
+		if _, err = c.ConnectPeer(p.addr, p.nodes); err == nil {
+			return nil
+		}
+		time.Sleep(wait)
+	}
+	return err
+}
+
+// parseRange parses "lo-hi" (inclusive) or a single id into a node id list.
+func parseRange(s string) ([]int, error) {
+	lo, hi, ok := strings.Cut(s, "-")
+	if !ok {
+		hi = lo
+	}
+	a, err := strconv.Atoi(lo)
+	if err != nil {
+		return nil, fmt.Errorf("bad node range %q", s)
+	}
+	b, err := strconv.Atoi(hi)
+	if err != nil || b < a {
+		return nil, fmt.Errorf("bad node range %q", s)
+	}
+	ids := make([]int, 0, b-a+1)
+	for i := a; i <= b; i++ {
+		ids = append(ids, i)
+	}
+	return ids, nil
+}
+
+func buildEdges(topoName string, n int) ([][2]int, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("need at least one node, got -n %d", n)
+	}
+	var edges [][2]int
+	switch topoName {
+	case "ring":
+		for i := 0; i < n; i++ {
+			edges = append(edges, [2]int{i, (i + 1) % n})
+		}
+		if n == 2 {
+			edges = edges[:1]
+		}
+	case "line":
+		for i := 0; i+1 < n; i++ {
+			edges = append(edges, [2]int{i, i + 1})
+		}
+	case "star":
+		for i := 1; i < n; i++ {
+			edges = append(edges, [2]int{0, i})
+		}
+	default:
+		return nil, fmt.Errorf("unknown topology %q (want ring, line or star)", topoName)
+	}
+	return edges, nil
+}
+
+// newHandler serves the query API for a running cluster.
+func newHandler(c *live.Cluster) http.Handler {
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(v)
+	}
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"ok": true, "simNow": c.SimNow(), "n": c.N(), "owned": len(c.Owned())})
+	})
+	mux.HandleFunc("GET /v1/clock", func(w http.ResponseWriter, r *http.Request) {
+		if q := r.URL.Query().Get("node"); q != "" {
+			id, err := strconv.Atoi(q)
+			if err != nil {
+				http.Error(w, "node must be an integer", http.StatusBadRequest)
+				return
+			}
+			snap, err := c.Snapshot(id)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			writeJSON(w, snap)
+			return
+		}
+		writeJSON(w, map[string]any{"simNow": c.SimNow(), "nodes": c.Snapshots()})
+	})
+	mux.HandleFunc("GET /v1/skew", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Skew())
+	})
+	mux.HandleFunc("GET /v1/legality", func(w http.ResponseWriter, r *http.Request) {
+		rep := c.Skew()
+		writeJSON(w, map[string]any{
+			"legal": rep.Legal, "bound": rep.Bound,
+			"maxLocalSkew": rep.MaxLocalSkew, "simNow": rep.SimNow,
+		})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Stats())
+	})
+	return mux
+}

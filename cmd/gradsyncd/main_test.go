@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/live"
+)
+
+func startTestCluster(t testing.TB, n int) *live.Cluster {
+	t.Helper()
+	edges, err := buildEdges("ring", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := live.NewCluster(live.Config{
+		N: n, Edges: edges,
+		Tick: 0.05, BeaconInterval: 0.25,
+		TimeScale: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	t.Cleanup(func() { c.Stop() })
+	return c
+}
+
+func getJSON(t *testing.T, srv *httptest.Server, path string, out any) *http.Response {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s: bad JSON: %v", path, err)
+		}
+	}
+	return resp
+}
+
+func TestDaemonEndpoints(t *testing.T) {
+	c := startTestCluster(t, 16)
+	srv := httptest.NewServer(newHandler(c))
+	defer srv.Close()
+	time.Sleep(150 * time.Millisecond) // let some beacons flow
+
+	var health struct {
+		OK     bool    `json:"ok"`
+		SimNow float64 `json:"simNow"`
+		N      int     `json:"n"`
+	}
+	if resp := getJSON(t, srv, "/healthz", &health); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz: %d", resp.StatusCode)
+	}
+	if !health.OK || health.N != 16 || health.SimNow <= 0 {
+		t.Fatalf("/healthz: %+v", health)
+	}
+
+	var clocks struct {
+		Nodes []live.NodeSnapshot `json:"nodes"`
+	}
+	getJSON(t, srv, "/v1/clock", &clocks)
+	if len(clocks.Nodes) != 16 {
+		t.Fatalf("/v1/clock returned %d nodes, want 16", len(clocks.Nodes))
+	}
+
+	var one live.NodeSnapshot
+	getJSON(t, srv, "/v1/clock?node=3", &one)
+	if one.Node != 3 || one.HW <= 0 {
+		t.Fatalf("/v1/clock?node=3: %+v", one)
+	}
+	if resp := getJSON(t, srv, "/v1/clock?node=99", &one); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/v1/clock?node=99: status %d, want 404", resp.StatusCode)
+	}
+	if resp := getJSON(t, srv, "/v1/clock?node=x", &one); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("/v1/clock?node=x: status %d, want 400", resp.StatusCode)
+	}
+
+	var skew live.SkewReport
+	getJSON(t, srv, "/v1/skew", &skew)
+	if skew.Bound != 2 || !skew.Legal {
+		t.Fatalf("/v1/skew: %+v", skew)
+	}
+
+	var leg struct {
+		Legal bool    `json:"legal"`
+		Bound float64 `json:"bound"`
+	}
+	getJSON(t, srv, "/v1/legality", &leg)
+	if !leg.Legal || leg.Bound != 2 {
+		t.Fatalf("/v1/legality: %+v", leg)
+	}
+
+	var stats live.Stats
+	getJSON(t, srv, "/v1/stats", &stats)
+	if stats.Enqueued == 0 {
+		t.Fatalf("/v1/stats shows no traffic: %+v", stats)
+	}
+}
+
+func TestParseRange(t *testing.T) {
+	for in, want := range map[string][]int{
+		"0-3": {0, 1, 2, 3},
+		"5":   {5},
+		"7-7": {7},
+	} {
+		got, err := parseRange(in)
+		if err != nil || !reflect.DeepEqual(got, want) {
+			t.Errorf("parseRange(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "3-1", "a-b", "1-"} {
+		if _, err := parseRange(in); err == nil {
+			t.Errorf("parseRange(%q) accepted", in)
+		}
+	}
+}
+
+func TestBuildEdges(t *testing.T) {
+	for _, tc := range []struct {
+		topo  string
+		n     int
+		edges int
+	}{
+		{"ring", 5, 5}, {"ring", 2, 1}, {"line", 5, 4}, {"star", 5, 4},
+	} {
+		edges, err := buildEdges(tc.topo, tc.n)
+		if err != nil || len(edges) != tc.edges {
+			t.Errorf("buildEdges(%s, %d) = %d edges, %v; want %d", tc.topo, tc.n, len(edges), err, tc.edges)
+		}
+	}
+	if _, err := buildEdges("torus", 4); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if _, err := buildEdges("ring", 0); err == nil {
+		t.Error("empty network accepted")
+	}
+}
+
+// BenchmarkSkewQuery measures query throughput against a live 16-node ring —
+// the daemon's QPS figure. The handler is exercised directly (no sockets),
+// so this bounds the query path itself: snapshot cut + skew scan + JSON.
+func BenchmarkSkewQuery(b *testing.B) {
+	c := startTestCluster(b, 16)
+	h := newHandler(c)
+	req := httptest.NewRequest("GET", "/v1/skew", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, req)
+		if rw.Code != http.StatusOK {
+			b.Fatalf("status %d", rw.Code)
+		}
+	}
+	b.StopTimer()
+	qps := float64(b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(qps, "qps")
+}

@@ -1,0 +1,118 @@
+// Command mdlint checks markdown files for broken local links: every
+// [text](target) whose target is a repository path must exist on disk, and
+// absolute filesystem paths are rejected outright — docs that point outside
+// the repository rot silently on every machine but the author's. Web URLs,
+// mailto links and pure intra-document anchors are skipped; so is anything
+// inside fenced code blocks or inline code spans, which in a Go repository
+// are full of [i] indexing and []byte that only look like links.
+//
+// Usage:
+//
+//	mdlint FILE.md [FILE.md ...]
+//
+// Exits non-zero if any file has a broken link, listing each offender.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: mdlint FILE.md [FILE.md ...]")
+		os.Exit(2)
+	}
+	broken := 0
+	for _, path := range os.Args[1:] {
+		problems, err := checkFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdlint:", err)
+			os.Exit(2)
+		}
+		for _, p := range problems {
+			fmt.Println(p)
+			broken++
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "mdlint: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+var linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// checkFile returns a problem line per broken link in the file.
+func checkFile(path string) ([]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(path)
+	var problems []string
+	inFence := false
+	for i, line := range strings.Split(string(raw), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(stripInlineCode(line), -1) {
+			target := m[1]
+			if reason := checkTarget(dir, target); reason != "" {
+				problems = append(problems, fmt.Sprintf("%s:%d: %s: %s", path, i+1, target, reason))
+			}
+		}
+	}
+	return problems, nil
+}
+
+// stripInlineCode blanks `code spans` so link-shaped code is not inspected.
+func stripInlineCode(line string) string {
+	var b strings.Builder
+	inCode := false
+	for _, r := range line {
+		switch {
+		case r == '`':
+			inCode = !inCode
+			b.WriteRune(' ')
+		case inCode:
+			b.WriteRune(' ')
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// checkTarget classifies a link target; empty string means fine.
+func checkTarget(dir, target string) string {
+	switch {
+	case strings.HasPrefix(target, "http://"),
+		strings.HasPrefix(target, "https://"),
+		strings.HasPrefix(target, "mailto:"),
+		strings.HasPrefix(target, "#"):
+		return ""
+	}
+	if strings.HasPrefix(target, "/") {
+		return "absolute path (docs must reference repository-relative paths)"
+	}
+	// Drop an intra-file anchor suffix; the file part must still exist.
+	if idx := strings.IndexByte(target, '#'); idx >= 0 {
+		target = target[:idx]
+		if target == "" {
+			return ""
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+		return "file not found"
+	}
+	return ""
+}

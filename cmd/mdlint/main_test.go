@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDoc(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckFile(t *testing.T) {
+	dir := t.TempDir()
+	writeDoc(t, dir, "exists.md", "target")
+	doc := writeDoc(t, dir, "doc.md", strings.Join([]string{
+		"[good](exists.md) and [web](https://example.com/x) and [anchor](#section)",
+		"[good with anchor](exists.md#part)",
+		"[missing](nope.md)",
+		"[absolute](/root/related/thing.go)",
+		"```",
+		"code := lines[0](missing.md) // fences are skipped",
+		"```",
+		"inline `[]byte(alsoskipped.md)` code spans too",
+		"[mail](mailto:a@b.c)",
+	}, "\n"))
+
+	problems, err := checkFile(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 2 {
+		t.Fatalf("got %d problems, want 2:\n%s", len(problems), strings.Join(problems, "\n"))
+	}
+	if !strings.Contains(problems[0], "nope.md") || !strings.Contains(problems[0], "doc.md:3") {
+		t.Errorf("first problem should flag nope.md at line 3: %s", problems[0])
+	}
+	if !strings.Contains(problems[1], "absolute path") {
+		t.Errorf("second problem should flag the absolute path: %s", problems[1])
+	}
+}
+
+func TestCheckFileCleanRepoDocs(t *testing.T) {
+	// The repository's own documentation must stay link-clean (the same
+	// check CI runs via make lint).
+	matches, err := filepath.Glob("../../*.md")
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no repo docs found: %v", err)
+	}
+	for _, path := range matches {
+		problems, err := checkFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(problems) > 0 {
+			t.Errorf("%s has broken links:\n%s", path, strings.Join(problems, "\n"))
+		}
+	}
+}

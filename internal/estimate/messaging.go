@@ -157,10 +157,24 @@ func (m *Messaging) Invalidate(u, v int) {
 
 // maxSampleAgeHW returns the maximum hardware-clock age a certified sample
 // may have: one beacon interval plus delay jitter, at the fastest hardware
-// rate, plus slop.
-func (m *Messaging) maxSampleAgeHW(p topo.LinkParams) float64 {
-	real := m.cfg.BeaconInterval + p.Uncertainty + m.cfg.TickSlop
-	return real * (1 + m.cfg.Rho)
+// rate, plus slop. Package-level (rather than a method) because the
+// node-local LocalBeacons store applies the identical rule.
+func maxSampleAgeHW(cfg MessagingConfig, p topo.LinkParams) float64 {
+	real := cfg.BeaconInterval + p.Uncertainty + cfg.TickSlop
+	return real * (1 + cfg.Rho)
+}
+
+// advanceSample advances a stored beacon sample to the present: credit the
+// certified minimum transit (minus slop for discrete integration) and the
+// elapsed receiver hardware time, both at guaranteed-minimum logical rates.
+// This is the η-relation estimate both Messaging and LocalBeacons serve.
+func advanceSample(cfg MessagingConfig, lSent, minTransit, ageHW float64) float64 {
+	rho := cfg.Rho
+	credit := minTransit - cfg.TickSlop
+	if credit < 0 {
+		credit = 0
+	}
+	return lSent + (1-rho)*credit + (1-rho)/(1+rho)*ageHW
 }
 
 // Estimate implements Layer.
@@ -188,21 +202,16 @@ func (m *Messaging) Estimate(u, v int) (float64, bool) {
 	if !ok {
 		return 0, false
 	}
-	rho := m.cfg.Rho
 	ageHW := m.hw(u) - hwAtRecv
-	if ageHW < 0 || ageHW > m.maxSampleAgeHW(p) {
+	if ageHW < 0 || ageHW > maxSampleAgeHW(m.cfg, p) {
 		atomic.AddUint64(&m.Misses, 1)
 		return 0, false
 	}
-	// The transit credit covers only fully elapsed integration ticks
-	// (clocks advance in steps); TickSlop compensates.
-	credit := minTransit - m.cfg.TickSlop
-	if credit < 0 {
-		credit = 0
-	}
-	est := lSent + (1-rho)*credit + (1-rho)/(1+rho)*ageHW
+	// The transit credit inside advanceSample covers only fully elapsed
+	// integration ticks (clocks advance in steps); TickSlop compensates.
+	est := advanceSample(m.cfg, lSent, minTransit, ageHW)
 	if m.cfg.Centered {
-		est += m.oneSidedBound(p) / 2
+		est += oneSidedBound(m.cfg, p) / 2
 	}
 	return est, true
 }
@@ -211,16 +220,16 @@ func (m *Messaging) Estimate(u, v int) (float64, bool) {
 // actual transit up to Delay at the fastest logical rate versus credit for
 // only (1−ρ)·(Delay−Uncertainty), plus the staleness window during which v
 // may run at (1+ρ)(1+µ) while the estimate advances at (1−ρ)²/(1+ρ).
-func (m *Messaging) oneSidedBound(p topo.LinkParams) float64 {
-	rho, mu := m.cfg.Rho, m.cfg.Mu
+func oneSidedBound(cfg MessagingConfig, p topo.LinkParams) float64 {
+	rho, mu := cfg.Rho, cfg.Mu
 	fast := (1 + rho) * (1 + mu)
 	slowAdvance := (1 - rho) * (1 - rho) / (1 + rho)
-	minCredit := p.Delay - p.Uncertainty - m.cfg.TickSlop
+	minCredit := p.Delay - p.Uncertainty - cfg.TickSlop
 	if minCredit < 0 {
 		minCredit = 0
 	}
 	transitErr := fast*p.Delay - (1-rho)*minCredit
-	staleWindow := m.cfg.BeaconInterval + p.Uncertainty + m.cfg.TickSlop
+	staleWindow := cfg.BeaconInterval + p.Uncertainty + cfg.TickSlop
 	return transitErr + (fast-slowAdvance)*staleWindow
 }
 
@@ -230,7 +239,7 @@ func (m *Messaging) Eps(u, v int) float64 {
 	if !ok {
 		return math.Inf(1)
 	}
-	b := m.oneSidedBound(p)
+	b := oneSidedBound(m.cfg, p)
 	if m.cfg.Centered {
 		return b / 2
 	}

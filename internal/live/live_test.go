@@ -1,0 +1,122 @@
+package live
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func ringEdges(n int) [][2]int {
+	edges := make([][2]int, n)
+	for i := 0; i < n; i++ {
+		edges[i] = [2]int{i, (i + 1) % n}
+	}
+	return edges
+}
+
+// TestLiveRingRecordReplay is the trace determinism contract of the live
+// mode: a real-time ring run (real goroutines, real tickers, real channel
+// transports — a genuinely nondeterministic schedule) records its trace, and
+// replaying that trace through the sim engine reproduces the exact final
+// state, three times over.
+func TestLiveRingRecordReplay(t *testing.T) {
+	const n = 8
+	var trace bytes.Buffer
+	c, err := NewCluster(Config{
+		N: n, Edges: ringEdges(n),
+		Tick: 0.05, BeaconInterval: 0.25,
+		TimeScale: 10 * time.Millisecond,
+		Trace:     &trace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	time.Sleep(400 * time.Millisecond)
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := c.Stats()
+	if st.Records == 0 {
+		t.Fatal("live run recorded no trace records")
+	}
+	if st.Enqueued == 0 {
+		t.Fatal("live run sent no beacons")
+	}
+	// The run is long enough (≈40 sim units, ≈160 beacon intervals) that
+	// every node must have heard from both ring neighbors.
+	for _, s := range c.Snapshots() {
+		if s.HW <= 0 {
+			t.Fatalf("node %d never ticked: %+v", s.Node, s)
+		}
+		if s.Samples == 0 {
+			t.Fatalf("node %d never received a beacon: %+v", s.Node, s)
+		}
+	}
+
+	liveFP := c.Fingerprint()
+	raw := trace.Bytes()
+	var prev ReplayResult
+	for i := 0; i < 3; i++ {
+		res, err := ReplayTrace(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("replay %d: %v", i, err)
+		}
+		if res.Fingerprint != liveFP {
+			t.Fatalf("replay %d fingerprint %s != live fingerprint %s", i, res.Fingerprint, liveFP)
+		}
+		if i > 0 && res.Fingerprint != prev.Fingerprint {
+			t.Fatalf("replay %d fingerprint %s != replay %d fingerprint %s",
+				i, res.Fingerprint, i-1, prev.Fingerprint)
+		}
+		prev = res
+	}
+	if int(st.Records) != prev.Records {
+		t.Fatalf("replay applied %d records, recorder wrote %d", prev.Records, st.Records)
+	}
+}
+
+// TestLiveSkewBounded sanity-checks the protocol itself: drift-free nodes
+// that start synchronized stay inside the gradient target.
+func TestLiveSkewBounded(t *testing.T) {
+	const n = 8
+	c, err := NewCluster(Config{
+		N: n, Edges: ringEdges(n),
+		Tick: 0.05, BeaconInterval: 0.25,
+		TimeScale: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	time.Sleep(300 * time.Millisecond)
+	rep := c.Skew()
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Legal {
+		t.Fatalf("live ring left the legal region: %+v", rep)
+	}
+	if rep.GlobalSkew < 0 || rep.MaxLocalSkew > rep.GlobalSkew {
+		t.Fatalf("inconsistent skew report: %+v", rep)
+	}
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	bad := []Config{
+		{N: 0},
+		{N: 4, Edges: [][2]int{{0, 4}}},
+		{N: 4, Edges: [][2]int{{1, 1}}},
+		{N: 4, Owned: []int{7}},
+		{N: 4, Rates: []float64{1, 1}},
+	}
+	for i, cfg := range bad {
+		if _, err := NewCluster(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := NewCluster(Config{N: 1}); err != nil {
+		t.Errorf("minimal config rejected: %v", err)
+	}
+}

@@ -1,0 +1,108 @@
+package live
+
+import (
+	"testing"
+	"time"
+)
+
+func env(from, to int) Envelope { return Envelope{From: from, To: to} }
+
+func TestSendQueueDropNewest(t *testing.T) {
+	q := NewSendQueue(2, DropNewest)
+	if !q.Offer(env(0, 1)) || !q.Offer(env(0, 2)) {
+		t.Fatal("offers under capacity rejected")
+	}
+	// Full: the new envelope is shed, not an old one.
+	if q.Offer(env(0, 3)) {
+		t.Fatal("offer on a full DropNewest queue accepted")
+	}
+	if q.Len() != 2 || q.Dropped() != 1 || q.Enqueued() != 2 {
+		t.Fatalf("len=%d dropped=%d enqueued=%d, want 2/1/2", q.Len(), q.Dropped(), q.Enqueued())
+	}
+	e, ok := q.Pop()
+	if !ok || e.To != 1 {
+		t.Fatalf("first pop = (%v,%v), want the oldest envelope (to=1)", e, ok)
+	}
+	if e, ok = q.Pop(); !ok || e.To != 2 {
+		t.Fatalf("second pop = (%v,%v), want to=2", e, ok)
+	}
+}
+
+func TestSendQueueBlockPolicy(t *testing.T) {
+	q := NewSendQueue(1, Block)
+	if !q.Offer(env(0, 1)) {
+		t.Fatal("offer under capacity rejected")
+	}
+	accepted := make(chan bool, 1)
+	go func() { accepted <- q.Offer(env(0, 2)) }()
+	select {
+	case got := <-accepted:
+		t.Fatalf("Offer on a full Block queue returned %v without waiting", got)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if e, ok := q.Pop(); !ok || e.To != 1 {
+		t.Fatalf("pop = (%v,%v), want to=1", e, ok)
+	}
+	select {
+	case got := <-accepted:
+		if !got {
+			t.Fatal("blocked Offer rejected after space freed")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocked Offer never completed after Pop freed space")
+	}
+	if q.Dropped() != 0 || q.Enqueued() != 2 {
+		t.Fatalf("dropped=%d enqueued=%d, want 0/2", q.Dropped(), q.Enqueued())
+	}
+}
+
+func TestSendQueueCloseSemantics(t *testing.T) {
+	q := NewSendQueue(4, Block)
+	q.Offer(env(0, 1))
+	q.Offer(env(0, 2))
+
+	// A blocked Offer on a full queue must wake and reject on Close.
+	full := NewSendQueue(1, Block)
+	full.Offer(env(9, 9))
+	rejected := make(chan bool, 1)
+	go func() { rejected <- !full.Offer(env(9, 8)) }()
+	time.Sleep(10 * time.Millisecond)
+	full.Close()
+	select {
+	case ok := <-rejected:
+		if !ok {
+			t.Fatal("Offer accepted on a closed queue")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not wake the blocked Offer")
+	}
+
+	// Close keeps pending envelopes poppable, then reports drained.
+	q.Close()
+	if q.Offer(env(0, 3)) {
+		t.Fatal("offer after Close accepted")
+	}
+	for want := 1; want <= 2; want++ {
+		if e, ok := q.Pop(); !ok || e.To != want {
+			t.Fatalf("pop after Close = (%v,%v), want to=%d", e, ok, want)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop on a closed drained queue reported an envelope")
+	}
+
+	// A blocked Pop on an empty queue must wake on Close too.
+	empty := NewSendQueue(1, DropNewest)
+	done := make(chan bool, 1)
+	go func() { _, ok := empty.Pop(); done <- ok }()
+	time.Sleep(10 * time.Millisecond)
+	empty.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Pop on closed empty queue returned an envelope")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not wake the blocked Pop")
+	}
+}

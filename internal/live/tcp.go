@@ -1,0 +1,177 @@
+package live
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// Peer is one outbound TCP link to another process hosting part of the
+// network. Envelopes queue in a bounded SendQueue (same back-pressure policy
+// as in-process edges) and a writer goroutine encodes them as wire frames.
+// Connections are unidirectional by convention: each process dials every
+// peer it sends to and serves a listener for inbound traffic, which keeps
+// routing explicit — the dialer states which node ids the connection reaches
+// — instead of learned from traffic.
+type Peer struct {
+	conn    net.Conn
+	q       *SendQueue
+	done    chan struct{}
+	closeMu sync.Mutex
+	closed  bool
+}
+
+// ConnectPeer dials addr, performs the hello exchange, and routes beacons
+// addressed to the given remote node ids through the connection. The remote
+// must be a Cluster with the same total N serving ServePeers on addr.
+func (c *Cluster) ConnectPeer(addr string, remoteNodes []int) (*Peer, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := transport.WriteWire(conn, transport.HelloMsg(c.cfg.N)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("live: hello send: %w", err)
+	}
+	hello, err := transport.ReadWire(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("live: hello recv: %w", err)
+	}
+	if err := checkHello(hello, c.cfg.N); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	p := &Peer{
+		conn: conn,
+		q:    NewSendQueue(c.cfg.QueueCapacity, c.cfg.QueuePolicy),
+		done: make(chan struct{}),
+	}
+	c.peerMu.Lock()
+	c.peers = append(c.peers, p)
+	for _, id := range remoteNodes {
+		c.routes[id] = p
+	}
+	c.peerMu.Unlock()
+	go p.writeLoop()
+	return p, nil
+}
+
+// checkHello validates a handshake frame against this cluster's shape.
+func checkHello(m transport.WireMsg, n int) error {
+	switch {
+	case m.Kind != transport.WireHello:
+		return fmt.Errorf("live: peer sent frame kind %d before hello", m.Kind)
+	case m.Version != transport.WireVersion:
+		return fmt.Errorf("live: peer speaks wire version %d, want %d", m.Version, transport.WireVersion)
+	case m.N != n:
+		return fmt.Errorf("live: peer configured for %d nodes, this cluster has %d", m.N, n)
+	}
+	return nil
+}
+
+// writeLoop drains the peer queue onto the wire. A write error closes the
+// connection; queued and future envelopes then drop (beacons are soft
+// state — the periodic resend is the retry).
+func (p *Peer) writeLoop() {
+	defer close(p.done)
+	bw := bufio.NewWriter(p.conn)
+	buf := make([]byte, 0, 64)
+	for {
+		e, ok := p.q.Pop()
+		if !ok {
+			return
+		}
+		frame, err := transport.AppendWire(buf[:0], transport.BeaconMsg(e.From, e.To, e.SentAt, e.MinTransit, e.B))
+		if err != nil {
+			continue
+		}
+		buf = frame
+		if _, err := bw.Write(frame); err != nil {
+			p.Close()
+			return
+		}
+		// Flush when the queue is momentarily empty; back-to-back sends
+		// batch into one segment.
+		if p.q.Len() == 0 {
+			if err := bw.Flush(); err != nil {
+				p.Close()
+				return
+			}
+		}
+	}
+}
+
+// Close shuts the link down: the queue stops accepting, the writer drains
+// out, and the connection closes. Idempotent.
+func (p *Peer) Close() {
+	p.closeMu.Lock()
+	already := p.closed
+	p.closed = true
+	p.closeMu.Unlock()
+	if already {
+		return
+	}
+	p.q.Close()
+	<-p.done
+	p.conn.Close()
+}
+
+// ServePeers accepts inbound peer connections on ln and delivers their
+// beacon frames to owned-node inboxes until the listener closes (close it to
+// stop; Stop does not know about the listener). Each accepted connection
+// performs the hello exchange and is then receive-only.
+func (c *Cluster) ServePeers(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go c.servePeerConn(conn)
+	}
+}
+
+func (c *Cluster) servePeerConn(conn net.Conn) {
+	defer conn.Close()
+	hello, err := transport.ReadWire(conn)
+	if err != nil || checkHello(hello, c.cfg.N) != nil {
+		return
+	}
+	if err := transport.WriteWire(conn, transport.HelloMsg(c.cfg.N)); err != nil {
+		return
+	}
+	// Unblock the blocking ReadWire below when the cluster stops.
+	stopDone := make(chan struct{})
+	defer close(stopDone)
+	go func() {
+		select {
+		case <-c.stopCh:
+			conn.Close()
+		case <-stopDone:
+		}
+	}()
+	br := bufio.NewReader(conn)
+	for {
+		m, err := transport.ReadWire(br)
+		if err != nil {
+			// Clean EOF, stop-triggered close and frame corruption all end
+			// the connection the same way; the dialer's periodic beacons are
+			// the retry mechanism.
+			return
+		}
+		if m.Kind != transport.WireBeacon {
+			continue
+		}
+		c.deliverLocal(Envelope{
+			From: m.From, To: m.To,
+			SentAt: m.SentAt, MinTransit: m.MinTransit, B: m.Beacon,
+		})
+	}
+}

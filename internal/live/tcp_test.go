@@ -1,0 +1,110 @@
+package live
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestTwoProcessRingOverTCP splits a 4-ring across two clusters (stand-ins
+// for two OS processes) peered over loopback TCP: nodes 0–1 in one, 2–3 in
+// the other. Every node has one local and one remote neighbor, so the test
+// passes only if beacons cross the wire in both directions.
+func TestTwoProcessRingOverTCP(t *testing.T) {
+	base := Config{
+		N: 4, Edges: ringEdges(4),
+		Tick: 0.05, BeaconInterval: 0.25,
+		TimeScale: 10 * time.Millisecond,
+	}
+	cfgA, cfgB := base, base
+	cfgA.Owned = []int{0, 1}
+	cfgB.Owned = []int{2, 3}
+	a, err := NewCluster(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewCluster(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lnA.Close()
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lnB.Close()
+	go a.ServePeers(lnA)
+	go b.ServePeers(lnB)
+
+	if _, err := a.ConnectPeer(lnB.Addr().String(), []int{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ConnectPeer(lnA.Addr().String(), []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	a.Start()
+	b.Start()
+	defer b.Stop()
+	defer a.Stop()
+
+	// Wait until every node holds samples from both neighbors — one of which
+	// can only have arrived over TCP.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		done := true
+		for _, c := range []*Cluster{a, b} {
+			for _, s := range c.Snapshots() {
+				if s.Samples < 2 {
+					done = false
+				}
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("nodes never heard both neighbors: A=%+v B=%+v", a.Snapshots(), b.Snapshots())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := a.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for name, c := range map[string]*Cluster{"a": a, "b": b} {
+		if st := c.Stats(); st.Unrouted != 0 {
+			t.Fatalf("cluster %s dropped %d unrouted envelopes", name, st.Unrouted)
+		}
+	}
+}
+
+// TestConnectPeerRejectsMismatch pins the hello handshake: a peer configured
+// for a different network size must be refused at connect time.
+func TestConnectPeerRejectsMismatch(t *testing.T) {
+	big, err := NewCluster(Config{N: 8, Edges: ringEdges(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := NewCluster(Config{N: 4, Edges: ringEdges(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go big.ServePeers(ln)
+	if _, err := small.ConnectPeer(ln.Addr().String(), []int{0}); err == nil {
+		t.Fatal("handshake accepted peers configured for different network sizes")
+	}
+}
