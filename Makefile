@@ -51,7 +51,8 @@ bench:
 # (the repo's perf trajectory): substrate micro-benchmarks at full
 # precision, the multi-seed sweep engine and the E15 scale tier (the
 # 10k-node ring with churn, whose events/sec is the throughput headline)
-# at one pass each.
+# at one pass each, and the gradsyncd query-plane benchmarks (whose qps
+# metric and 0 allocs/op are the serving headline).
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkCoreStep|BenchmarkNeighborLevels|BenchmarkBlockSyncStep|BenchmarkNeighbors|BenchmarkTopoChurn' -benchmem ./internal/core ./internal/baselines ./internal/topo > BENCH_raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem ./internal/sim >> BENCH_raw.txt
@@ -59,6 +60,7 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkPoolRun' -benchmem ./internal/par >> BENCH_raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkSimulationStep' -benchmem -benchtime=20x . >> BENCH_raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkSweep|BenchmarkRuntime10k' -benchmem -benchtime=1x . >> BENCH_raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkSkewQuery|BenchmarkClockQuery' -benchmem ./cmd/gradsyncd >> BENCH_raw.txt
 	$(GO) run ./cmd/benchjson -out BENCH_sweep.json < BENCH_raw.txt
 	rm -f BENCH_raw.txt
 

@@ -58,7 +58,11 @@ type Record struct {
 	// window) the Runtime benchmarks report; it tracks how far the sharded
 	// event drain's windows have been widened.
 	EventsPerWindow float64 `json:"events_per_window,omitempty"`
-	BPerOp          float64 `json:"b_per_op,omitempty"`
+	// QPS is the query-throughput metric the gradsyncd endpoint benchmarks
+	// report (BenchmarkSkewQuery / BenchmarkClockQuery) — the daemon's
+	// query-plane headline.
+	QPS    float64 `json:"qps,omitempty"`
+	BPerOp float64 `json:"b_per_op,omitempty"`
 	AllocsPerOp     int64   `json:"allocs_per_op,omitempty"`
 	// HasMem marks that the B/op and allocs/op columns were present (the
 	// run used -benchmem), so a recorded 0 allocs/op is distinguishable
@@ -87,8 +91,11 @@ type Report struct {
 	Mem        []MemRecord `json:"mem,omitempty"`
 }
 
+// benchLine captures the result columns in the order `go test` prints them:
+// extra ReportMetric columns sort alphabetically by unit, so events/sec <
+// events/window < qps, all before the -benchmem pair.
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+[\d.]+ MB/s)?(?:\s+([\d.e+]+) events/sec)?(?:\s+([\d.e+]+) events/window)?(?:\s+([\d.]+) B/op\s+(\d+) allocs/op)?`)
+	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+[\d.]+ MB/s)?(?:\s+([\d.e+]+) events/sec)?(?:\s+([\d.e+]+) events/window)?(?:\s+([\d.e+]+) qps)?(?:\s+([\d.]+) B/op\s+(\d+) allocs/op)?`)
 
 // memLine matches the shared mem-footer format anywhere in a line (test
 // harnesses may indent or prefix it).
@@ -214,10 +221,15 @@ func parse(r io.Reader) (*Report, error) {
 			}
 		}
 		if m[6] != "" {
-			if rec.BPerOp, err = strconv.ParseFloat(m[6], 64); err != nil {
+			if rec.QPS, err = strconv.ParseFloat(m[6], 64); err != nil {
+				return nil, fmt.Errorf("bad qps in %q: %w", line, err)
+			}
+		}
+		if m[7] != "" {
+			if rec.BPerOp, err = strconv.ParseFloat(m[7], 64); err != nil {
 				return nil, fmt.Errorf("bad B/op in %q: %w", line, err)
 			}
-			if rec.AllocsPerOp, err = strconv.ParseInt(m[7], 10, 64); err != nil {
+			if rec.AllocsPerOp, err = strconv.ParseInt(m[8], 10, 64); err != nil {
 				return nil, fmt.Errorf("bad allocs/op in %q: %w", line, err)
 			}
 			rec.HasMem = true
@@ -250,9 +262,10 @@ type benchKey struct{ pkg, name string }
 type deltaRow struct {
 	name         string
 	verdict      string // "ok", "REGRESSED", "new", "removed"
-	oldNs, newNs float64
-	deltaPct     float64
-	oldEv, newEv float64 // events/sec where recorded (0 = absent)
+	oldNs, newNs   float64
+	deltaPct       float64
+	oldEv, newEv   float64 // events/sec where recorded (0 = absent)
+	oldQPS, newQPS float64 // qps where recorded (0 = absent)
 	hasMem       bool    // both records carried -benchmem columns
 	oldAllocs    int64
 	newAllocs    int64
@@ -302,7 +315,7 @@ func compareFiles(oldPath, newPath string, threshold, memThreshold float64, mark
 	for _, r := range newRep.Benchmarks {
 		prev, ok := old[benchKey{r.Pkg, r.Name}]
 		if !ok {
-			rows = append(rows, deltaRow{name: r.Name, verdict: "new", newNs: r.NsPerOp, newEv: r.EventsPerSec})
+			rows = append(rows, deltaRow{name: r.Name, verdict: "new", newNs: r.NsPerOp, newEv: r.EventsPerSec, newQPS: r.QPS})
 			continue
 		}
 		matched++
@@ -329,6 +342,7 @@ func compareFiles(oldPath, newPath string, threshold, memThreshold float64, mark
 			name: r.Name, verdict: verdict,
 			oldNs: prev.NsPerOp, newNs: r.NsPerOp, deltaPct: deltaPct,
 			oldEv: prev.EventsPerSec, newEv: r.EventsPerSec,
+			oldQPS: prev.QPS, newQPS: r.QPS,
 			hasMem:    hasMem,
 			oldAllocs: prev.AllocsPerOp, newAllocs: r.AllocsPerOp,
 			oldB: prev.BPerOp, newB: r.BPerOp,
@@ -430,12 +444,16 @@ func renderText(rows []deltaRow, w io.Writer) {
 // delta, and the events/sec columns where the benchmark records them.
 func renderMarkdown(rows []deltaRow, threshold float64, w io.Writer) {
 	fmt.Fprintf(w, "### Benchmark delta vs baseline (threshold %.0f%% ns/op; any allocs/op growth)\n\n", threshold)
-	fmt.Fprintln(w, "| benchmark | baseline ns/op | run ns/op | Δ ns/op | B/op (baseline → run) | allocs/op (baseline → run) | events/sec (baseline → run) | verdict |")
-	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|---:|---|")
+	fmt.Fprintln(w, "| benchmark | baseline ns/op | run ns/op | Δ ns/op | B/op (baseline → run) | allocs/op (baseline → run) | events/sec (baseline → run) | qps (baseline → run) | verdict |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|---:|---:|---|")
 	for _, r := range rows {
 		ev := ""
 		if r.oldEv > 0 || r.newEv > 0 {
 			ev = fmt.Sprintf("%.3g → %.3g", r.oldEv, r.newEv)
+		}
+		qps := ""
+		if r.oldQPS > 0 || r.newQPS > 0 {
+			qps = fmt.Sprintf("%.3g → %.3g", r.oldQPS, r.newQPS)
 		}
 		bops, allocs := "", ""
 		if r.hasMem {
@@ -444,16 +462,16 @@ func renderMarkdown(rows []deltaRow, threshold float64, w io.Writer) {
 		}
 		switch r.verdict {
 		case "new":
-			fmt.Fprintf(w, "| %s | — | %.1f | — | | | %s | new |\n", r.name, r.newNs, ev)
+			fmt.Fprintf(w, "| %s | — | %.1f | — | | | %s | %s | new |\n", r.name, r.newNs, ev, qps)
 		case "removed":
-			fmt.Fprintf(w, "| %s | — | — | — | | | | removed |\n", r.name)
+			fmt.Fprintf(w, "| %s | — | — | — | | | | | removed |\n", r.name)
 		default:
 			verdict := "ok"
 			if r.verdict == "REGRESSED" {
 				verdict = "**REGRESSED**"
 			}
-			fmt.Fprintf(w, "| %s | %.1f | %.1f | %+.1f%% | %s | %s | %s | %s |\n",
-				r.name, r.oldNs, r.newNs, r.deltaPct, bops, allocs, ev, verdict)
+			fmt.Fprintf(w, "| %s | %.1f | %.1f | %+.1f%% | %s | %s | %s | %s | %s |\n",
+				r.name, r.oldNs, r.newNs, r.deltaPct, bops, allocs, ev, qps, verdict)
 		}
 	}
 }
@@ -558,6 +576,9 @@ func trendFiles(paths []string, stdout io.Writer) error {
 				cell := fmt.Sprintf("%.3g", rec.NsPerOp)
 				if rec.EventsPerSec > 0 {
 					cell += fmt.Sprintf(" (%.3g ev/s)", rec.EventsPerSec)
+				}
+				if rec.QPS > 0 {
+					cell += fmt.Sprintf(" (%.3g qps)", rec.QPS)
 				}
 				fmt.Fprintf(stdout, " %s |", cell)
 			} else {

@@ -23,6 +23,9 @@ BenchmarkRuntime10k-8 	       3	 627203010 ns/op	    188198 events/sec	  725360 
 BenchmarkRuntime10k/par=max/evpar=max-8 	       3	 52719301 ns/op	    1.2e+06 events/sec	    95.17 events/window	  725360 B/op	      22 allocs/op
 === mem Runtime10k/par=max/evpar=max: N=10000 live heap 12.9 MiB (1351 B/node) ===
 ok  	repro	1.2s
+pkg: repro/cmd/gradsyncd
+BenchmarkSkewQuery/serial-8         	 3583066	       319.0 ns/op	   3134468 qps	       0 B/op	       0 allocs/op
+ok  	repro/cmd/gradsyncd	6.4s
 `
 
 func TestParseAndWrite(t *testing.T) {
@@ -39,8 +42,8 @@ func TestParseAndWrite(t *testing.T) {
 	if err := json.Unmarshal(data, &report); err != nil {
 		t.Fatalf("output is not valid JSON: %v", err)
 	}
-	if len(report.Benchmarks) != 5 {
-		t.Fatalf("parsed %d records, want 5", len(report.Benchmarks))
+	if len(report.Benchmarks) != 6 {
+		t.Fatalf("parsed %d records, want 6", len(report.Benchmarks))
 	}
 	first := report.Benchmarks[0]
 	if first.Pkg != "repro/internal/core" || first.Name != "BenchmarkCoreStep" {
@@ -72,6 +75,11 @@ func TestParseAndWrite(t *testing.T) {
 	if fifth.Name != "BenchmarkRuntime10k/par=max/evpar=max" || fifth.EventsPerWindow != 95.17 ||
 		fifth.EventsPerSec != 1.2e+06 || fifth.BPerOp != 725360 {
 		t.Errorf("record 4 = %+v (events/window metric must be captured between events/sec and B/op)", fifth)
+	}
+	sixth := report.Benchmarks[5]
+	if sixth.Pkg != "repro/cmd/gradsyncd" || sixth.Name != "BenchmarkSkewQuery/serial" ||
+		sixth.QPS != 3134468 || !sixth.HasMem || sixth.AllocsPerOp != 0 {
+		t.Errorf("record 5 = %+v (qps metric must be captured between events/window and B/op)", sixth)
 	}
 	if len(report.Mem) != 1 {
 		t.Fatalf("parsed %d mem footers, want 1", len(report.Mem))
@@ -209,7 +217,7 @@ func TestTrendTable(t *testing.T) {
 	writeFile(run2, Report{
 		Benchmarks: []Record{
 			{Pkg: "p", Name: "BenchmarkA", NsPerOp: 90, EventsPerSec: 2e6},
-			{Pkg: "p", Name: "BenchmarkNew", NsPerOp: 42},
+			{Pkg: "p", Name: "BenchmarkNew", NsPerOp: 42, QPS: 3.1e6},
 		},
 		Mem: []MemRecord{{Case: "ring", N: 10000, LiveHeapMiB: 12, BytesPerNode: 1150}},
 	})
@@ -221,7 +229,7 @@ func TestTrendTable(t *testing.T) {
 	for _, want := range []string{
 		"| benchmark | 1111 | 2222 |",
 		"| BenchmarkA | 100 | 90 (2e+06 ev/s) |",
-		"| BenchmarkNew | — | 42 |",
+		"| BenchmarkNew | — | 42 (3.1e+06 qps) |",
 		"| case | 1111 | 2222 |",
 		"| ring | — | 1150 |",
 	} {
@@ -353,9 +361,9 @@ func TestCompareMarkdownTable(t *testing.T) {
 	got := stdout.String()
 	for _, want := range []string{
 		"| benchmark |",
-		"| BenchmarkA | 100.0 | 140.0 | +40.0% |  |  | 6e+05 → 4.5e+05 | **REGRESSED** |",
+		"| BenchmarkA | 100.0 | 140.0 | +40.0% |  |  | 6e+05 → 4.5e+05 |  | **REGRESSED** |",
 		"| BenchmarkNew | — | 10.0 | — |",
-		"| BenchmarkGone | — | — | — | | | | removed |",
+		"| BenchmarkGone | — | — | — | | | | | removed |",
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("markdown output missing %q:\n%s", want, got)

@@ -27,7 +27,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -36,6 +35,8 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -73,20 +74,26 @@ func run(args []string) error {
 		peerListen = fs.String("peer-listen", "", "TCP listen address for inbound peer beacons")
 	)
 	var peers []peerFlag
+	var peerSpecs [][2]string
 	fs.Func("peer", "peer TCP address and its node range, as addr=lo-hi (repeatable)", func(v string) error {
 		addr, rng, ok := strings.Cut(v, "=")
 		if !ok {
 			return fmt.Errorf("want addr=lo-hi, got %q", v)
 		}
-		nodes, err := parseRange(rng)
-		if err != nil {
-			return err
-		}
-		peers = append(peers, peerFlag{addr: addr, nodes: nodes})
+		peerSpecs = append(peerSpecs, [2]string{addr, rng})
 		return nil
 	})
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// Ranges validate against -n, which flag order doesn't fix until Parse is
+	// done — so peer specs are collected raw and resolved here.
+	for _, spec := range peerSpecs {
+		nodes, err := parseRange(spec[1], *n)
+		if err != nil {
+			return fmt.Errorf("-peer %s: %w", spec[0], err)
+		}
+		peers = append(peers, peerFlag{addr: spec[0], nodes: nodes})
 	}
 
 	edges, err := buildEdges(*topoName, *n)
@@ -104,7 +111,7 @@ func run(args []string) error {
 		cfg.QueuePolicy = live.Block
 	}
 	if *own != "" {
-		if cfg.Owned, err = parseRange(*own); err != nil {
+		if cfg.Owned, err = parseRange(*own, *n); err != nil {
 			return fmt.Errorf("-own: %w", err)
 		}
 	}
@@ -167,7 +174,10 @@ func connectWithRetry(c *live.Cluster, p peerFlag, attempts int, wait time.Durat
 }
 
 // parseRange parses "lo-hi" (inclusive) or a single id into a node id list.
-func parseRange(s string) ([]int, error) {
+// Every id must be a valid node for a network of n nodes: negative ids and
+// ids ≥ n are configuration errors, rejected here rather than surfacing
+// later as routing failures.
+func parseRange(s string, n int) ([]int, error) {
 	lo, hi, ok := strings.Cut(s, "-")
 	if !ok {
 		hi = lo
@@ -179,6 +189,9 @@ func parseRange(s string) ([]int, error) {
 	b, err := strconv.Atoi(hi)
 	if err != nil || b < a {
 		return nil, fmt.Errorf("bad node range %q", s)
+	}
+	if a < 0 || b >= n {
+		return nil, fmt.Errorf("node range %q outside [0,%d)", s, n)
 	}
 	ids := make([]int, 0, b-a+1)
 	for i := a; i <= b; i++ {
@@ -214,45 +227,148 @@ func buildEdges(topoName string, n int) ([][2]int, error) {
 	return edges, nil
 }
 
+// jsonCT is assigned into the response header map directly (map assignment
+// of a shared slice) — unlike Header().Set, which canonicalizes the key
+// through textproto and allocates on every request.
+var jsonCT = []string{"application/json"}
+
+// cachedResp is one pre-rendered response body, valid for exactly one
+// cluster epoch.
+type cachedResp struct {
+	epoch uint64
+	body  []byte
+}
+
+// server serves the query API for a running cluster. The hot endpoints
+// (/v1/skew and /v1/clock?node=) are allocation-free: routing is a manual
+// path switch (no ServeMux machinery), the node parameter is cut out of
+// RawQuery without parsing the full query, and bodies are rendered by the
+// hand-rolled appenders in encode.go into pooled buffers. Endpoints whose
+// payload only changes when the cluster applies an input (/healthz,
+// /v1/legality) cache their rendered body keyed on the published epoch, so
+// under read-mostly load they serve the same byte slice until the next
+// state-machine step.
+type server struct {
+	c       *live.Cluster
+	bufPool sync.Pool // *[]byte response scratch
+	health  atomic.Pointer[cachedResp]
+	legal   atomic.Pointer[cachedResp]
+}
+
 // newHandler serves the query API for a running cluster.
 func newHandler(c *live.Cluster) http.Handler {
-	mux := http.NewServeMux()
-	writeJSON := func(w http.ResponseWriter, v any) {
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(v)
+	s := &server{c: c}
+	s.bufPool.New = func() any {
+		b := make([]byte, 0, 512)
+		return &b
 	}
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, map[string]any{"ok": true, "simNow": c.SimNow(), "n": c.N(), "owned": len(c.Owned())})
-	})
-	mux.HandleFunc("GET /v1/clock", func(w http.ResponseWriter, r *http.Request) {
-		if q := r.URL.Query().Get("node"); q != "" {
-			id, err := strconv.Atoi(q)
-			if err != nil {
-				http.Error(w, "node must be an integer", http.StatusBadRequest)
-				return
-			}
-			snap, err := c.Snapshot(id)
-			if err != nil {
-				http.Error(w, err.Error(), http.StatusNotFound)
-				return
-			}
-			writeJSON(w, snap)
-			return
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	switch r.URL.Path {
+	case "/healthz":
+		s.serveHealth(w)
+	case "/v1/clock":
+		s.serveClock(w, r)
+	case "/v1/skew":
+		s.serveSkew(w)
+	case "/v1/legality":
+		s.serveLegality(w)
+	case "/v1/stats":
+		s.serveStats(w)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// respond writes one rendered JSON body. Content-Length is left to
+// net/http's single-write detection, so the write path adds no header
+// allocations.
+func respond(w http.ResponseWriter, body []byte) {
+	w.Header()["Content-Type"] = jsonCT
+	w.Write(body)
+}
+
+func (s *server) serveHealth(w http.ResponseWriter) {
+	e := s.c.Epoch()
+	if p := s.health.Load(); p != nil && p.epoch == e {
+		respond(w, p.body)
+		return
+	}
+	// Rebuilds race benignly: concurrent requests on a fresh epoch may each
+	// render (reporting their own simNow), and any of the stores is a valid
+	// cache for the epoch.
+	body := appendHealth(make([]byte, 0, 96), s.c.SimNow(), s.c.N(), len(s.c.Owned()))
+	s.health.Store(&cachedResp{epoch: e, body: body})
+	respond(w, body)
+}
+
+func (s *server) serveLegality(w http.ResponseWriter) {
+	e := s.c.Epoch()
+	if p := s.legal.Load(); p != nil && p.epoch == e {
+		respond(w, p.body)
+		return
+	}
+	body := appendLegality(make([]byte, 0, 128), s.c.Legality())
+	s.legal.Store(&cachedResp{epoch: e, body: body})
+	respond(w, body)
+}
+
+func (s *server) serveClock(w http.ResponseWriter, r *http.Request) {
+	q, ok := nodeQuery(r.URL.RawQuery)
+	// The buffer is written back after appending so growth (a ring larger
+	// than the initial 512 bytes) sticks to the pooled slot instead of
+	// reallocating on every request.
+	bp := s.bufPool.Get().(*[]byte)
+	defer s.bufPool.Put(bp)
+	if !ok {
+		*bp = appendClockAll((*bp)[:0], s.c)
+		respond(w, *bp)
+		return
+	}
+	id, err := strconv.Atoi(q)
+	if err != nil || id < 0 || id >= s.c.N() {
+		http.Error(w, "node must be an integer in [0,n)", http.StatusBadRequest)
+		return
+	}
+	if !s.c.Owns(id) {
+		http.Error(w, "node is hosted by another process", http.StatusNotFound)
+		return
+	}
+	snap, _ := s.c.Snapshot(id)
+	*bp = appendSnapshot((*bp)[:0], snap)
+	respond(w, *bp)
+}
+
+func (s *server) serveSkew(w http.ResponseWriter) {
+	bp := s.bufPool.Get().(*[]byte)
+	*bp = appendSkew((*bp)[:0], s.c.Skew())
+	respond(w, *bp)
+	s.bufPool.Put(bp)
+}
+
+func (s *server) serveStats(w http.ResponseWriter) {
+	bp := s.bufPool.Get().(*[]byte)
+	*bp = appendStats((*bp)[:0], s.c.Stats())
+	respond(w, *bp)
+	s.bufPool.Put(bp)
+}
+
+// nodeQuery cuts the node parameter out of a raw query string without
+// url.ParseQuery (which allocates a map per call). Substring operations
+// only, so present-or-absent detection is free.
+func nodeQuery(raw string) (val string, ok bool) {
+	for raw != "" {
+		var kv string
+		kv, raw, _ = strings.Cut(raw, "&")
+		if v, found := strings.CutPrefix(kv, "node="); found {
+			return v, true
 		}
-		writeJSON(w, map[string]any{"simNow": c.SimNow(), "nodes": c.Snapshots()})
-	})
-	mux.HandleFunc("GET /v1/skew", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, c.Skew())
-	})
-	mux.HandleFunc("GET /v1/legality", func(w http.ResponseWriter, r *http.Request) {
-		rep := c.Skew()
-		writeJSON(w, map[string]any{
-			"legal": rep.Legal, "bound": rep.Bound,
-			"maxLocalSkew": rep.MaxLocalSkew, "simNow": rep.SimNow,
-		})
-	})
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, c.Stats())
-	})
-	return mux
+	}
+	return "", false
 }

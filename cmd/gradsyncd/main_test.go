@@ -76,8 +76,11 @@ func TestDaemonEndpoints(t *testing.T) {
 	if one.Node != 3 || one.HW <= 0 {
 		t.Fatalf("/v1/clock?node=3: %+v", one)
 	}
-	if resp := getJSON(t, srv, "/v1/clock?node=99", &one); resp.StatusCode != http.StatusNotFound {
-		t.Fatalf("/v1/clock?node=99: status %d, want 404", resp.StatusCode)
+	// node=99 names a node that cannot exist in a 16-node network: invalid
+	// input (400), not a missing resource (404 is reserved for valid ids
+	// hosted by another process; see TestClockNodeStatusCodes).
+	if resp := getJSON(t, srv, "/v1/clock?node=99", &one); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("/v1/clock?node=99: status %d, want 400", resp.StatusCode)
 	}
 	if resp := getJSON(t, srv, "/v1/clock?node=x", &one); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("/v1/clock?node=x: status %d, want 400", resp.StatusCode)
@@ -106,19 +109,26 @@ func TestDaemonEndpoints(t *testing.T) {
 }
 
 func TestParseRange(t *testing.T) {
+	const n = 16
 	for in, want := range map[string][]int{
-		"0-3": {0, 1, 2, 3},
-		"5":   {5},
-		"7-7": {7},
+		"0-3":   {0, 1, 2, 3},
+		"5":     {5},
+		"7-7":   {7},
+		"15":    {15},
+		"14-15": {14, 15},
 	} {
-		got, err := parseRange(in)
+		got, err := parseRange(in, n)
 		if err != nil || !reflect.DeepEqual(got, want) {
-			t.Errorf("parseRange(%q) = %v, %v; want %v", in, got, err, want)
+			t.Errorf("parseRange(%q, %d) = %v, %v; want %v", in, n, got, err, want)
 		}
 	}
-	for _, in := range []string{"", "3-1", "a-b", "1-"} {
-		if _, err := parseRange(in); err == nil {
-			t.Errorf("parseRange(%q) accepted", in)
+	for _, in := range []string{
+		"", "3-1", "a-b", "1-", // malformed
+		"-1", "-3-2", "-2--1", // negative ids
+		"16", "15-16", "0-99", // ids ≥ n
+	} {
+		if ids, err := parseRange(in, n); err == nil {
+			t.Errorf("parseRange(%q, %d) accepted: %v", in, n, ids)
 		}
 	}
 }
@@ -144,23 +154,58 @@ func TestBuildEdges(t *testing.T) {
 	}
 }
 
-// BenchmarkSkewQuery measures query throughput against a live 16-node ring —
-// the daemon's QPS figure. The handler is exercised directly (no sockets),
-// so this bounds the query path itself: snapshot cut + skew scan + JSON.
-func BenchmarkSkewQuery(b *testing.B) {
+// nullResponseWriter is the benchmark/alloc-test sink: a ResponseWriter
+// whose header map persists across requests and whose body writes are
+// discarded, so measurements see the handler's own cost, not the
+// recorder's. Not safe for concurrent use — each goroutine gets its own.
+type nullResponseWriter struct {
+	h      http.Header
+	status int
+}
+
+func newNullRW() *nullResponseWriter { return &nullResponseWriter{h: make(http.Header, 4)} }
+
+func (w *nullResponseWriter) Header() http.Header         { return w.h }
+func (w *nullResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (w *nullResponseWriter) WriteHeader(code int)        { w.status = code }
+
+// benchEndpoint runs one endpoint serially and in parallel against a live
+// 16-node ring, reporting throughput as a qps metric. The handler is
+// exercised directly (no sockets), so this bounds the query path itself:
+// snapshot read + report scan + hand-rolled JSON.
+func benchEndpoint(b *testing.B, target string) {
 	c := startTestCluster(b, 16)
 	h := newHandler(c)
-	req := httptest.NewRequest("GET", "/v1/skew", nil)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		rw := httptest.NewRecorder()
-		h.ServeHTTP(rw, req)
-		if rw.Code != http.StatusOK {
-			b.Fatalf("status %d", rw.Code)
+	b.Run("serial", func(b *testing.B) {
+		req := httptest.NewRequest("GET", target, nil)
+		rw := newNullRW()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.ServeHTTP(rw, req)
 		}
-	}
-	b.StopTimer()
-	qps := float64(b.N) / b.Elapsed().Seconds()
-	b.ReportMetric(qps, "qps")
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			req := httptest.NewRequest("GET", target, nil)
+			rw := newNullRW()
+			for pb.Next() {
+				h.ServeHTTP(rw, req)
+			}
+		})
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+	})
 }
+
+// BenchmarkSkewQuery measures /v1/skew throughput — the daemon's QPS figure.
+func BenchmarkSkewQuery(b *testing.B) { benchEndpoint(b, "/v1/skew") }
+
+// BenchmarkClockQuery measures single-node /v1/clock throughput — the
+// cheapest read (one seqlock snapshot plus ~150 bytes of JSON), so its qps
+// is the ceiling of the query plane.
+func BenchmarkClockQuery(b *testing.B) { benchEndpoint(b, "/v1/clock?node=3") }

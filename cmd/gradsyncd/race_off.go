@@ -1,0 +1,9 @@
+//go:build !race
+
+package main
+
+// raceEnabled reports whether the race detector is compiled in. The
+// zero-allocation assertions are skipped under -race: the detector
+// instruments sync.Pool to drop Puts at random (to shake out lifetime
+// bugs), so pooled buffers legitimately reallocate there.
+const raceEnabled = false

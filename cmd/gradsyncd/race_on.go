@@ -1,0 +1,7 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether the race detector is compiled in (see
+// race_off.go for why alloc assertions key on it).
+const raceEnabled = true

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/hist"
 	"repro/internal/topo"
 	"repro/internal/transport"
 )
@@ -152,6 +153,11 @@ type liveNode struct {
 	nextBeacon  float64
 	rate        float64
 	inbox       chan Envelope
+	// pub is this node's slot in the cluster snapshot slab: the loop
+	// goroutine publishes after every applied input, and queries read it
+	// without ever touching mu (see snapshot.go and DESIGN.md §Live
+	// transport).
+	pub *snapSlot
 	// out is parallel to st.peers; nil entries are non-owned neighbors whose
 	// traffic routes through a TCP peer instead of an in-process queue.
 	out []*SendQueue
@@ -167,7 +173,8 @@ type Cluster struct {
 	minTransit float64
 	// nodes is indexed by node id; nil for nodes hosted by another process.
 	nodes    []*liveNode
-	owned    []int // sorted owned ids
+	owned    []int  // sorted owned ids
+	isOwned  []bool // indexed by node id
 	rec      *Recorder
 	start    time.Time
 	stopCh   chan struct{}
@@ -176,6 +183,20 @@ type Cluster struct {
 	started  bool
 	stopped  bool
 	unrouted uint64 // beacons to non-owned nodes with no attached peer route
+
+	// slab holds one published snapshot slot per node id; epoch counts
+	// publications cluster-wide, so an unchanged epoch certifies that every
+	// slot is unchanged (the daemon keys its response caches on it).
+	slab  []snapSlot
+	epoch atomic.Uint64
+	// tickHist records real intervals between consecutive ticker fires of
+	// every owned node (nanoseconds); its quantiles versus tickNominal are
+	// the protocol-jitter figure Stats reports.
+	tickHist    hist.Atomic
+	tickNominal time.Duration
+	// skewScratch pools the per-report L vector so Skew allocates nothing in
+	// steady state.
+	skewScratch sync.Pool
 
 	peerMu sync.Mutex
 	peers  []*Peer
@@ -193,10 +214,16 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		minTransit = 0
 	}
 	c := &Cluster{
-		cfg:        cfg,
-		minTransit: minTransit,
-		stopCh:     make(chan struct{}),
-		routes:     make(map[int]*Peer),
+		cfg:         cfg,
+		minTransit:  minTransit,
+		stopCh:      make(chan struct{}),
+		routes:      make(map[int]*Peer),
+		slab:        make([]snapSlot, cfg.N),
+		tickNominal: time.Duration(cfg.Tick * float64(cfg.TimeScale)),
+	}
+	c.skewScratch.New = func() any {
+		b := make([]float64, cfg.N)
+		return &b
 	}
 	if cfg.Trace != nil {
 		rec, err := NewRecorder(cfg.Trace, cfg.header())
@@ -215,6 +242,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			isOwned[id] = true
 		}
 	}
+	c.isOwned = isOwned
 	for i, own := range isOwned {
 		if own {
 			c.owned = append(c.owned, i)
@@ -243,8 +271,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			// synchronized-at-start nodes doesn't burst-send forever.
 			nextBeacon: cfg.BeaconInterval * float64(i+1) / float64(cfg.N),
 			inbox:      make(chan Envelope, cfg.QueueCapacity),
+			pub:        &c.slab[i],
 			out:        make([]*SendQueue, len(adj[i])),
 		}
+		// Publish the initial state (seq 0) so queries arriving before the
+		// first tick already see a consistent snapshot (mult 1, hw 0).
+		n.pub.publish(n.st, 0)
 		for j, peer := range adj[i] {
 			if isOwned[peer] {
 				n.out[j] = NewSendQueue(cfg.QueueCapacity, cfg.QueuePolicy)
@@ -339,8 +371,9 @@ func (c *Cluster) pump(q *SendQueue, dst *liveNode) {
 // per-node input order is exactly the applied order.
 func (c *Cluster) nodeLoop(n *liveNode) {
 	defer c.nodeWG.Done()
-	ticker := time.NewTicker(time.Duration(c.cfg.Tick * float64(c.cfg.TimeScale)))
+	ticker := time.NewTicker(c.tickNominal)
 	defer ticker.Stop()
+	var lastFire time.Time
 	for {
 		select {
 		case <-c.stopCh:
@@ -348,6 +381,14 @@ func (c *Cluster) nodeLoop(n *liveNode) {
 		case e := <-n.inbox:
 			c.applyBeacon(n, e)
 		case <-ticker.C:
+			// Record the real inter-fire interval: its quantiles versus the
+			// nominal tick are the protocol-jitter bound Stats reports (the
+			// figure query load must not inflate).
+			now := time.Now()
+			if !lastFire.IsZero() {
+				c.tickHist.Add(now.Sub(lastFire).Nanoseconds())
+			}
+			lastFire = now
 			c.applyTick(n)
 		}
 	}
@@ -364,6 +405,7 @@ func (c *Cluster) applyTick(n *liveNode) {
 	n.st.applyTick(dh)
 	rec := TraceRecord{Kind: RecTick, T: simNow, Node: n.st.id, Seq: n.seq, DH: dh, HW: n.st.hw}
 	n.seq++
+	n.pub.publish(n.st, n.seq)
 	var b transport.Beacon
 	send := simNow >= n.nextBeacon
 	if send {
@@ -374,6 +416,7 @@ func (c *Cluster) applyTick(n *liveNode) {
 		}
 	}
 	n.mu.Unlock()
+	c.epoch.Add(1)
 	if c.rec != nil {
 		c.rec.Append(rec)
 	}
@@ -400,7 +443,9 @@ func (c *Cluster) applyBeacon(n *liveNode, e Envelope) {
 		HW: n.st.hw,
 	}
 	n.seq++
+	n.pub.publish(n.st, n.seq)
 	n.mu.Unlock()
+	c.epoch.Add(1)
 	if c.rec != nil {
 		c.rec.Append(rec)
 	}
@@ -433,7 +478,11 @@ func (c *Cluster) deliverLocal(e Envelope) {
 	}
 }
 
-// NodeSnapshot is a point-in-time read of one node's public state.
+// NodeSnapshot is a point-in-time read of one node's public state: one
+// consistent published tuple (all fields belong to the same state-machine
+// step). Seq is the number of inputs the node had applied at publication —
+// dense and strictly monotone, so consecutive reads of one node can be
+// ordered, and HW never regresses as Seq grows.
 type NodeSnapshot struct {
 	Node    int     `json:"node"`
 	L       float64 `json:"l"`
@@ -443,6 +492,7 @@ type NodeSnapshot struct {
 	Fast    uint64  `json:"fastTicks"`
 	Slow    uint64  `json:"slowTicks"`
 	Samples int     `json:"samples"`
+	Seq     uint64  `json:"seq"`
 }
 
 // N returns the total node count across all processes.
@@ -465,34 +515,45 @@ func (c *Cluster) SimNow() float64 {
 	return c.simNow()
 }
 
-// Snapshot reads one owned node's state.
+// Owns reports whether node id i is valid and hosted by this process.
+func (c *Cluster) Owns(i int) bool {
+	return i >= 0 && i < len(c.nodes) && c.nodes[i] != nil
+}
+
+// Epoch returns the cluster publication counter: it advances on every
+// state-machine input any owned node applies, so an unchanged epoch
+// certifies every published snapshot is unchanged. The daemon keys its
+// response caches on it.
+func (c *Cluster) Epoch() uint64 { return c.epoch.Load() }
+
+// Snapshot reads one owned node's published state. Wait-free: the read never
+// touches the node's mutex or its goroutine, only the snapshot slab.
 func (c *Cluster) Snapshot(i int) (NodeSnapshot, error) {
 	if i < 0 || i >= len(c.nodes) {
 		return NodeSnapshot{}, fmt.Errorf("live: node %d out of range [0,%d)", i, len(c.nodes))
 	}
-	n := c.nodes[i]
-	if n == nil {
+	if c.nodes[i] == nil {
 		return NodeSnapshot{}, fmt.Errorf("live: node %d is hosted by another process", i)
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return NodeSnapshot{
-		Node: i, L: n.st.l, M: n.st.m, HW: n.st.hw, Mult: n.st.mult,
-		Fast: n.st.fast, Slow: n.st.slow, Samples: n.st.est.SampleCount(),
-	}, nil
+	return c.slab[i].read(i), nil
 }
 
-// Snapshots reads every owned node. The cut is per-node consistent but not
-// global: each node is locked in turn, so nodes keep ticking while the slice
-// fills — fine for monitoring, not a consistent global state (use Stop +
-// Fingerprint for that).
-func (c *Cluster) Snapshots() []NodeSnapshot {
-	out := make([]NodeSnapshot, 0, len(c.owned))
+// AppendSnapshots appends every owned node's published snapshot to dst and
+// returns it — the allocation-free form of Snapshots. Each element is a
+// consistent per-node tuple; the cut across nodes is not global (nodes keep
+// ticking while the slice fills), which is fine for monitoring — use Stop +
+// Fingerprint for a quiescent global state.
+func (c *Cluster) AppendSnapshots(dst []NodeSnapshot) []NodeSnapshot {
 	for _, i := range c.owned {
-		s, _ := c.Snapshot(i)
-		out = append(out, s)
+		dst = append(dst, c.slab[i].read(i))
 	}
-	return out
+	return dst
+}
+
+// Snapshots reads every owned node (see AppendSnapshots for the cut
+// semantics and the allocation-free variant).
+func (c *Cluster) Snapshots() []NodeSnapshot {
+	return c.AppendSnapshots(make([]NodeSnapshot, 0, len(c.owned)))
 }
 
 // SkewReport summarizes clock skew across this process's nodes at query
@@ -506,33 +567,34 @@ type SkewReport struct {
 	Legal        bool    `json:"legal"`        // MaxLocalSkew ≤ Bound
 }
 
-// Skew computes the skew report from a snapshot cut.
+// Skew computes the skew report from one snapshot cut: every owned node's L
+// is read exactly once (into a pooled scratch vector), and both the global
+// spread and every edge difference are computed from those same values — the
+// report is internally consistent even while nodes keep ticking. Wait-free
+// and allocation-free in steady state.
 func (c *Cluster) Skew() SkewReport {
 	rep := SkewReport{SimNow: c.SimNow(), Bound: 2 * c.cfg.S, Legal: true}
-	byID := make(map[int]NodeSnapshot, len(c.owned))
+	sp := c.skewScratch.Get().(*[]float64)
+	ls := *sp
 	first := true
 	var minL, maxL float64
-	for _, s := range c.Snapshots() {
-		byID[s.Node] = s
-		if first || s.L < minL {
-			minL = s.L
+	for _, i := range c.owned {
+		l := c.slab[i].readL()
+		ls[i] = l
+		if first || l < minL {
+			minL = l
 		}
-		if first || s.L > maxL {
-			maxL = s.L
+		if first || l > maxL {
+			maxL = l
 		}
 		first = false
 	}
-	if first {
-		return rep
-	}
 	rep.GlobalSkew = maxL - minL
 	for _, e := range c.cfg.Edges {
-		su, okU := byID[e[0]]
-		sv, okV := byID[e[1]]
-		if !okU || !okV {
+		if !c.isOwned[e[0]] || !c.isOwned[e[1]] {
 			continue
 		}
-		d := su.L - sv.L
+		d := ls[e[0]] - ls[e[1]]
 		if d < 0 {
 			d = -d
 		}
@@ -541,21 +603,59 @@ func (c *Cluster) Skew() SkewReport {
 		}
 	}
 	rep.Legal = rep.MaxLocalSkew <= rep.Bound
+	c.skewScratch.Put(sp)
 	return rep
 }
 
-// Stats aggregates transport counters across all send queues and peers.
+// LegalityReport is the daemon's /v1/legality payload: the skew report
+// reduced to its verdict.
+type LegalityReport struct {
+	Legal        bool    `json:"legal"`
+	Bound        float64 `json:"bound"`
+	MaxLocalSkew float64 `json:"maxLocalSkew"`
+	SimNow       float64 `json:"simNow"`
+}
+
+// Legality reduces the current skew report to the gradient-target verdict.
+func (c *Cluster) Legality() LegalityReport {
+	rep := c.Skew()
+	return LegalityReport{
+		Legal: rep.Legal, Bound: rep.Bound,
+		MaxLocalSkew: rep.MaxLocalSkew, SimNow: rep.SimNow,
+	}
+}
+
+// Stats aggregates transport, trace and tick-timing counters. Every source
+// is an atomic folded at read time — reading stats never locks a node, a
+// queue or the tick path.
 type Stats struct {
 	SimNow   float64 `json:"simNow"`
+	Epoch    uint64  `json:"epoch"`
 	Enqueued uint64  `json:"enqueued"`
 	Dropped  uint64  `json:"dropped"`
 	Unrouted uint64  `json:"unrouted"`
-	Records  uint64  `json:"traceRecords"`
+	// Reconnects counts successful peer-link redials; PeersDown is the
+	// number of peer links currently disconnected and backing off.
+	Reconnects uint64 `json:"reconnects"`
+	PeersDown  int    `json:"peersDown"`
+	Records    uint64 `json:"traceRecords"`
+	// Tick timing: the nominal integration-tick period and the measured
+	// p50/p99 of real inter-fire intervals across all owned nodes. P99
+	// inflation over nominal is the reader-perturbation figure the epoch
+	// snapshot read path exists to keep flat.
+	TickNominalMs float64 `json:"tickNominalMs"`
+	TickP50Ms     float64 `json:"tickP50Ms"`
+	TickP99Ms     float64 `json:"tickP99Ms"`
 }
 
 // Stats reports cluster-wide transport and trace counters.
 func (c *Cluster) Stats() Stats {
-	st := Stats{SimNow: c.SimNow(), Unrouted: atomic.LoadUint64(&c.unrouted)}
+	st := Stats{
+		SimNow:        c.SimNow(),
+		Epoch:         c.epoch.Load(),
+		Unrouted:      atomic.LoadUint64(&c.unrouted),
+		TickNominalMs: float64(c.tickNominal) / float64(time.Millisecond),
+	}
 	for _, i := range c.owned {
 		for _, q := range c.nodes[i].out {
 			if q != nil {
@@ -567,11 +667,19 @@ func (c *Cluster) Stats() Stats {
 	c.peerMu.Lock()
 	for _, p := range c.peers {
 		st.Enqueued += p.q.Enqueued()
-		st.Dropped += p.q.Dropped()
+		st.Dropped += p.q.Dropped() + p.downDrops.Load()
+		st.Reconnects += p.reconnects.Load()
+		if p.down.Load() {
+			st.PeersDown++
+		}
 	}
 	c.peerMu.Unlock()
 	if c.rec != nil {
 		st.Records = c.rec.Records()
+	}
+	if c.tickHist.Count() > 0 {
+		st.TickP50Ms = float64(c.tickHist.Quantile(0.5)) / float64(time.Millisecond)
+		st.TickP99Ms = float64(c.tickHist.Quantile(0.99)) / float64(time.Millisecond)
 	}
 	return st
 }

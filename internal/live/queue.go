@@ -2,6 +2,7 @@ package live
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/transport"
 )
@@ -48,7 +49,9 @@ type SendQueue struct {
 	n        int // live element count
 	closed   bool
 
-	enqueued, dropped uint64
+	// Counters are atomics so Stats folds them at read time without taking
+	// q.mu — stats queries never contend with the producer or the pump.
+	enqueued, dropped atomic.Uint64
 	policy            QueuePolicy
 }
 
@@ -71,18 +74,18 @@ func (q *SendQueue) Offer(e Envelope) bool {
 	defer q.mu.Unlock()
 	for q.n == len(q.buf) && !q.closed {
 		if q.policy == DropNewest {
-			q.dropped++
+			q.dropped.Add(1)
 			return false
 		}
 		q.notFull.Wait()
 	}
 	if q.closed {
-		q.dropped++
+		q.dropped.Add(1)
 		return false
 	}
 	q.buf[(q.head+q.n)%len(q.buf)] = e
 	q.n++
-	q.enqueued++
+	q.enqueued.Add(1)
 	q.notEmpty.Signal()
 	return true
 }
@@ -126,17 +129,9 @@ func (q *SendQueue) Len() int {
 // Cap returns the fixed capacity.
 func (q *SendQueue) Cap() int { return len(q.buf) }
 
-// Enqueued returns the number of envelopes accepted so far.
-func (q *SendQueue) Enqueued() uint64 {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.enqueued
-}
+// Enqueued returns the number of envelopes accepted so far (lock-free).
+func (q *SendQueue) Enqueued() uint64 { return q.enqueued.Load() }
 
 // Dropped returns the number of envelopes rejected (full under DropNewest,
-// or offered after Close).
-func (q *SendQueue) Dropped() uint64 {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.dropped
-}
+// or offered after Close). Lock-free.
+func (q *SendQueue) Dropped() uint64 { return q.dropped.Load() }

@@ -1,0 +1,75 @@
+package live
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/estimate"
+	"repro/internal/topo"
+)
+
+// TestSnapSlotNeverTears hammers one slot from concurrent readers while a
+// writer publishes states whose fields are all derived from seq. Any torn
+// read — a tuple mixing two publications — breaks a derivation and fails.
+func TestSnapSlotNeverTears(t *testing.T) {
+	slot := &snapSlot{}
+	st := &nodeState{est: estimate.NewLocalBeacons(estimate.MessagingConfig{}, topo.LinkParams{})}
+	stop := make(chan struct{})
+	var published atomic.Uint64
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for seq := uint64(1); ; seq++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			f := float64(seq)
+			st.l, st.m, st.hw, st.mult = 2*f, 3*f, 0.5*f, 1+f
+			st.fast, st.slow = seq, 7*seq
+			slot.publish(st, seq)
+			published.Store(seq)
+		}
+	}()
+
+	var lastSeq [8]uint64
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := slot.read(0)
+				if s.Seq == 0 {
+					continue // nothing published yet: the zero slot
+				}
+				f := float64(s.Seq)
+				if s.L != 2*f || s.M != 3*f || s.HW != 0.5*f || s.Mult != 1+f ||
+					s.Fast != s.Seq || s.Slow != 7*s.Seq {
+					t.Errorf("torn read: %+v", s)
+					return
+				}
+				if s.Seq < lastSeq[r] {
+					t.Errorf("seq regressed: %d after %d", s.Seq, lastSeq[r])
+					return
+				}
+				lastSeq[r] = s.Seq
+			}
+		}(r)
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if published.Load() == 0 {
+		t.Fatal("writer never published")
+	}
+}

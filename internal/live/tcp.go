@@ -6,8 +6,23 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/transport"
+)
+
+// Reconnect policy for outbound peer links: after a write failure the link
+// is marked down and redialed with exponential backoff, starting at
+// reconnectBase and capped at reconnectMax. Dial attempts ride on the
+// writer goroutine's envelope cadence (beacons are periodic, so there is
+// always a next attempt) and each is bounded by reconnectDialTimeout, so a
+// dead peer never blocks the state machine — envelopes offered while the
+// link is down are dropped and counted.
+const (
+	reconnectBase        = 50 * time.Millisecond
+	reconnectMax         = 5 * time.Second
+	reconnectDialTimeout = 2 * time.Second
 )
 
 // Peer is one outbound TCP link to another process hosting part of the
@@ -16,24 +31,65 @@ import (
 // Connections are unidirectional by convention: each process dials every
 // peer it sends to and serves a listener for inbound traffic, which keeps
 // routing explicit — the dialer states which node ids the connection reaches
-// — instead of learned from traffic.
+// — instead of learned from traffic. A failed link self-heals: the writer
+// redials with capped exponential backoff while shedding (and counting) the
+// beacons that arrive in between; Stats surfaces both the reconnect count
+// and the down state.
 type Peer struct {
-	conn    net.Conn
-	q       *SendQueue
-	done    chan struct{}
-	closeMu sync.Mutex
-	closed  bool
+	c    *Cluster
+	addr string
+	q    *SendQueue
+	done chan struct{}
+
+	// connMu guards conn (the live connection, nil while down) against the
+	// race between the writer goroutine swapping connections and Close
+	// needing to unblock an in-flight write.
+	connMu sync.Mutex
+	conn   net.Conn
+	closed bool
+
+	down       atomic.Bool
+	reconnects atomic.Uint64
+	downDrops  atomic.Uint64 // envelopes shed while the link was down
 }
 
 // ConnectPeer dials addr, performs the hello exchange, and routes beacons
 // addressed to the given remote node ids through the connection. The remote
-// must be a Cluster with the same total N serving ServePeers on addr.
+// must be a Cluster with the same total N serving ServePeers on addr. The
+// initial dial is synchronous — a misconfigured deployment fails here, at
+// attach time — but once attached the link redials on its own after
+// failures.
 func (c *Cluster) ConnectPeer(addr string, remoteNodes []int) (*Peer, error) {
-	conn, err := net.Dial("tcp", addr)
+	p := &Peer{
+		c:    c,
+		addr: addr,
+		q:    NewSendQueue(c.cfg.QueueCapacity, c.cfg.QueuePolicy),
+		done: make(chan struct{}),
+	}
+	conn, err := p.dial()
 	if err != nil {
 		return nil, err
 	}
-	if err := transport.WriteWire(conn, transport.HelloMsg(c.cfg.N)); err != nil {
+	p.conn = conn
+	c.peerMu.Lock()
+	c.peers = append(c.peers, p)
+	for _, id := range remoteNodes {
+		c.routes[id] = p
+	}
+	c.peerMu.Unlock()
+	go p.writeLoop(conn)
+	return p, nil
+}
+
+// dial establishes and validates one connection: TCP connect plus the hello
+// exchange, both bounded by reconnectDialTimeout.
+func (p *Peer) dial() (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", p.addr, reconnectDialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetDeadline(time.Now().Add(reconnectDialTimeout))
+	if err := transport.WriteWire(conn, transport.HelloMsg(p.c.cfg.N)); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("live: hello send: %w", err)
 	}
@@ -42,23 +98,12 @@ func (c *Cluster) ConnectPeer(addr string, remoteNodes []int) (*Peer, error) {
 		conn.Close()
 		return nil, fmt.Errorf("live: hello recv: %w", err)
 	}
-	if err := checkHello(hello, c.cfg.N); err != nil {
+	if err := checkHello(hello, p.c.cfg.N); err != nil {
 		conn.Close()
 		return nil, err
 	}
-	p := &Peer{
-		conn: conn,
-		q:    NewSendQueue(c.cfg.QueueCapacity, c.cfg.QueuePolicy),
-		done: make(chan struct{}),
-	}
-	c.peerMu.Lock()
-	c.peers = append(c.peers, p)
-	for _, id := range remoteNodes {
-		c.routes[id] = p
-	}
-	c.peerMu.Unlock()
-	go p.writeLoop()
-	return p, nil
+	conn.SetDeadline(time.Time{})
+	return conn, nil
 }
 
 // checkHello validates a handshake frame against this cluster's shape.
@@ -74,51 +119,109 @@ func checkHello(m transport.WireMsg, n int) error {
 	return nil
 }
 
-// writeLoop drains the peer queue onto the wire. A write error closes the
-// connection; queued and future envelopes then drop (beacons are soft
-// state — the periodic resend is the retry).
-func (p *Peer) writeLoop() {
+// swapConn publishes the writer's current connection so Close can unblock an
+// in-flight write. Returns false when the peer closed meanwhile — the caller
+// must discard the connection and exit.
+func (p *Peer) swapConn(conn net.Conn) bool {
+	p.connMu.Lock()
+	defer p.connMu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conn = conn
+	return true
+}
+
+// writeLoop drains the peer queue onto the wire. A write error marks the
+// link down and starts the redial cycle: each subsequent envelope either
+// rides a dial attempt (when the backoff window has elapsed) or is dropped
+// and counted. The queue keeps absorbing offers the whole time, so the
+// sending node is never blocked by a dead peer.
+func (p *Peer) writeLoop(conn net.Conn) {
 	defer close(p.done)
-	bw := bufio.NewWriter(p.conn)
+	bw := bufio.NewWriter(conn)
 	buf := make([]byte, 0, 64)
+	backoff := reconnectBase
+	var nextDial time.Time // zero: dial immediately on the next envelope
 	for {
 		e, ok := p.q.Pop()
 		if !ok {
+			if conn != nil {
+				conn.Close()
+			}
 			return
+		}
+		if conn == nil {
+			if time.Now().Before(nextDial) {
+				p.downDrops.Add(1)
+				continue
+			}
+			c2, err := p.dial()
+			if err != nil {
+				p.downDrops.Add(1)
+				nextDial = time.Now().Add(backoff)
+				backoff *= 2
+				if backoff > reconnectMax {
+					backoff = reconnectMax
+				}
+				continue
+			}
+			if !p.swapConn(c2) {
+				c2.Close()
+				continue // queue is closed; next Pop returns !ok
+			}
+			conn = c2
+			bw.Reset(conn)
+			p.down.Store(false)
+			p.reconnects.Add(1)
+			backoff = reconnectBase
 		}
 		frame, err := transport.AppendWire(buf[:0], transport.BeaconMsg(e.From, e.To, e.SentAt, e.MinTransit, e.B))
 		if err != nil {
 			continue
 		}
 		buf = frame
-		if _, err := bw.Write(frame); err != nil {
-			p.Close()
-			return
-		}
+		_, werr := bw.Write(frame)
 		// Flush when the queue is momentarily empty; back-to-back sends
 		// batch into one segment.
-		if p.q.Len() == 0 {
-			if err := bw.Flush(); err != nil {
-				p.Close()
-				return
-			}
+		if werr == nil && p.q.Len() == 0 {
+			werr = bw.Flush()
+		}
+		if werr != nil {
+			conn.Close()
+			conn = nil
+			p.swapConn(nil)
+			p.down.Store(true)
+			p.downDrops.Add(1)
+			nextDial = time.Time{} // first retry rides the next envelope
+			backoff = reconnectBase
 		}
 	}
 }
 
+// Down reports whether the link is currently disconnected and backing off.
+func (p *Peer) Down() bool { return p.down.Load() }
+
+// Reconnects returns how many times the link has been re-established.
+func (p *Peer) Reconnects() uint64 { return p.reconnects.Load() }
+
 // Close shuts the link down: the queue stops accepting, the writer drains
 // out, and the connection closes. Idempotent.
 func (p *Peer) Close() {
-	p.closeMu.Lock()
+	p.connMu.Lock()
 	already := p.closed
 	p.closed = true
-	p.closeMu.Unlock()
+	conn := p.conn
+	p.connMu.Unlock()
 	if already {
 		return
 	}
 	p.q.Close()
+	if conn != nil {
+		// Unblock a writer parked inside a TCP write on a stalled link.
+		conn.Close()
+	}
 	<-p.done
-	p.conn.Close()
 }
 
 // ServePeers accepts inbound peer connections on ln and delivers their
